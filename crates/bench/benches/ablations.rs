@@ -1,0 +1,37 @@
+//! Ablation benches (DESIGN.md §6): scheduler, correction mechanism,
+//! optimizer, basis degree and loss shape — printed once, with the
+//! scheduler ablation as the measured workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::measure_workload;
+use predictsim_experiments::ablation::{
+    ablate_basis, ablate_correction, ablate_loss, ablate_optimizer, ablate_scheduler,
+    render_ablation,
+};
+use predictsim_experiments::ExperimentSetup;
+
+fn bench(c: &mut Criterion) {
+    let w = ExperimentSetup { scale: predictsim_bench::PRINT_SCALE, ..ExperimentSetup::quick() }
+        .workload("kth")
+        .expect("KTH preset");
+    eprintln!("\n=== Ablations on {} ===", w.name);
+    eprintln!("{}", render_ablation("Scheduler (clairvoyant)", &ablate_scheduler(&w)));
+    eprintln!("{}", render_ablation("Correction mechanism", &ablate_correction(&w)));
+    eprintln!("{}", render_ablation("Optimizer", &ablate_optimizer(&w)));
+    eprintln!("{}", render_ablation("Basis degree", &ablate_basis(&w)));
+    eprintln!("{}", render_ablation("Loss shape x weighting", &ablate_loss(&w)));
+
+    let small = measure_workload();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("scheduler_ablation", |b| {
+        b.iter(|| std::hint::black_box(ablate_scheduler(&small)))
+    });
+    g.bench_function("optimizer_ablation", |b| {
+        b.iter(|| std::hint::black_box(ablate_optimizer(&small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Engine micro-benchmarks: the hot paths of the simulator and learner,
+//! independent of any paper experiment. These are the numbers to watch
+//! when optimizing the substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predictsim_bench::measure_workload;
+use predictsim_core::basis::PolynomialBasis;
+use predictsim_core::features::N_FEATURES;
+use predictsim_core::loss::AsymmetricLoss;
+use predictsim_core::model::OnlineRegression;
+use predictsim_core::weighting::WeightingScheme;
+use predictsim_sim::event::{EventKind, EventQueue};
+use predictsim_sim::job::JobId;
+use predictsim_sim::predict::ClairvoyantPredictor;
+use predictsim_sim::scheduler::EasyScheduler;
+use predictsim_sim::time::Time;
+use predictsim_sim::{simulate, SimConfig};
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(
+                        Time(((i * 7919) % 100_000) as i64),
+                        EventKind::Submit(JobId(i as u32)),
+                    );
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                std::hint::black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    let w = measure_workload();
+    let cfg = SimConfig { machine_size: w.machine_size };
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(w.jobs.len() as u64));
+    g.bench_function("easy_sjbf_clairvoyant_jobs_per_sec", |b| {
+        b.iter(|| {
+            let mut sched = EasyScheduler::sjbf();
+            let mut pred = ClairvoyantPredictor;
+            std::hint::black_box(simulate(&w.jobs, cfg, &mut sched, &mut pred, None).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn learner_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("learner");
+    // One full learn step on the paper's 20-feature degree-2 model.
+    g.bench_function("nag_learn_step_231_weights", |b| {
+        let mut model = OnlineRegression::new(
+            N_FEATURES,
+            AsymmetricLoss::E_LOSS,
+            WeightingScheme::LargeArea,
+        );
+        let x: Vec<f64> = (0..N_FEATURES).map(|i| (i as f64 + 1.0) * 3.7).collect();
+        b.iter(|| std::hint::black_box(model.learn(&x, 1234.0, 16.0)))
+    });
+    // Basis expansion alone.
+    g.bench_function("polynomial_expansion_20_features", |b| {
+        let basis = PolynomialBasis::new(N_FEATURES);
+        let x: Vec<f64> = (0..N_FEATURES).map(|i| i as f64).collect();
+        let mut out = vec![0.0; basis.output_dim()];
+        b.iter(|| {
+            basis.expand_into(&x, &mut out);
+            std::hint::black_box(out[out.len() - 1])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, event_queue, simulation_throughput, learner_update);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 3 (§6.3.2): scatter of triple AVEbsld between two logs plus
+//! the Pearson aggregate over all log pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::{measure_workload_pair, print_workloads};
+use predictsim_experiments::figures::{fig3, render_fig3};
+use predictsim_experiments::{campaign_triples, reference_triples, run_campaign};
+
+fn bench(c: &mut Criterion) {
+    let mut triples = campaign_triples();
+    triples.extend(reference_triples());
+    let campaigns: Vec<_> = print_workloads()
+        .iter()
+        .map(|w| run_campaign(w, &triples))
+        .collect();
+    eprintln!(
+        "\n=== Figure 3 (scale {}) ===\n{}",
+        predictsim_bench::PRINT_SCALE,
+        render_fig3(&fig3(&campaigns, "Metacentrum", "SDSC-BLUE"))
+    );
+
+    // Measured: a reduced two-log campaign + scatter assembly.
+    let ws = measure_workload_pair();
+    let reduced: Vec<_> = campaign_triples().into_iter().take(8).collect();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("two_log_scatter", |b| {
+        b.iter(|| {
+            let cs: Vec<_> = ws.iter().map(|w| run_campaign(w, &reduced)).collect();
+            std::hint::black_box(fig3(&cs, &ws[0].name, &ws[1].name))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5 (§6.4): ECDFs of the predicted values themselves (plus the
+//! actual running times), showing the E-Loss model's bias toward small
+//! predictions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::measure_workload;
+use predictsim_experiments::figures::{fig4_fig5, render_ecdf_series};
+use predictsim_experiments::ExperimentSetup;
+
+fn bench(c: &mut Criterion) {
+    let curie = ExperimentSetup { scale: predictsim_bench::PRINT_SCALE, ..ExperimentSetup::quick() }
+        .workload("curie")
+        .expect("Curie preset");
+    let fig = fig4_fig5(&curie, 97);
+    eprintln!(
+        "\n=== Figure 5 on {} (predicted-value quantiles, hours) ===\n{}",
+        fig.log,
+        render_ecdf_series(&fig.value_series, "h")
+    );
+
+    let w = measure_workload();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("value_ecdfs", |b| {
+        b.iter(|| std::hint::black_box(fig4_fig5(&w, 49).value_series))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

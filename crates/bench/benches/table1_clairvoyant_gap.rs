@@ -1,0 +1,30 @@
+//! Table 1 (§2.2): EASY with requested times vs EASY with exact running
+//! times, per log. Prints the regenerated table, then measures the
+//! two-simulation comparison on a small log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::{measure_workload, print_workloads};
+use predictsim_experiments::tables::{render_table1, table1};
+use predictsim_experiments::{HeuristicTriple, Variant};
+use predictsim_sim::SimConfig;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1(&print_workloads());
+    eprintln!("\n=== Table 1 (scale {}) ===\n{}", predictsim_bench::PRINT_SCALE, render_table1(&rows));
+
+    let w = measure_workload();
+    let cfg = SimConfig { machine_size: w.machine_size };
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("easy_vs_clairvoyant", |b| {
+        b.iter(|| {
+            let easy = HeuristicTriple::standard_easy().run(&w.jobs, cfg).unwrap();
+            let clair = HeuristicTriple::clairvoyant(Variant::Easy).run(&w.jobs, cfg).unwrap();
+            std::hint::black_box((easy.ave_bsld(), clair.ave_bsld()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

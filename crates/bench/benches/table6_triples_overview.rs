@@ -1,0 +1,38 @@
+//! Table 6 (§6.3.1): the AVEbsld overview over every heuristic triple.
+//! Prints the regenerated table over all six logs at bench scale, then
+//! measures a reduced campaign as the tracked workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::{measure_workload, print_workloads};
+use predictsim_experiments::tables::{render_table6, table6};
+use predictsim_experiments::{campaign_triples, reference_triples, run_campaign, HeuristicTriple};
+
+fn bench(c: &mut Criterion) {
+    let mut triples = campaign_triples();
+    triples.extend(reference_triples());
+    let campaigns: Vec<_> = print_workloads()
+        .iter()
+        .map(|w| run_campaign(w, &triples))
+        .collect();
+    eprintln!(
+        "\n=== Table 6 (scale {}) ===\n{}",
+        predictsim_bench::PRINT_SCALE,
+        render_table6(&table6(&campaigns))
+    );
+
+    let w = measure_workload();
+    let reduced = vec![
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+    ];
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("reduced_campaign", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(&w, &reduced)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

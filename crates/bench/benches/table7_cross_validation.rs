@@ -1,0 +1,32 @@
+//! Table 7 (§6.3.3): leave-one-out cross-validated triple selection.
+//! Prints the regenerated table over all six logs, then measures the
+//! selection step itself (the campaign is the expensive part and is
+//! benchmarked by table6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::print_workloads;
+use predictsim_experiments::tables::{render_table7, table7};
+use predictsim_experiments::{campaign_triples, cross_validate, reference_triples, run_campaign};
+
+fn bench(c: &mut Criterion) {
+    let mut triples = campaign_triples();
+    triples.extend(reference_triples());
+    let campaigns: Vec<_> = print_workloads()
+        .iter()
+        .map(|w| run_campaign(w, &triples))
+        .collect();
+    eprintln!(
+        "\n=== Table 7 (scale {}) ===\n{}",
+        predictsim_bench::PRINT_SCALE,
+        render_table7(&table7(&campaigns))
+    );
+
+    let mut g = c.benchmark_group("table7");
+    g.bench_function("cross_validation_selection", |b| {
+        b.iter(|| std::hint::black_box(cross_validate(&campaigns)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 8 (§6.4): MAE and mean E-Loss of AVE2 vs the E-Loss learner on
+//! the Curie stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_bench::measure_workload;
+use predictsim_experiments::tables::{render_table8, table8};
+use predictsim_experiments::ExperimentSetup;
+
+fn bench(c: &mut Criterion) {
+    let curie = ExperimentSetup { scale: predictsim_bench::PRINT_SCALE, ..ExperimentSetup::quick() }
+        .workload("curie")
+        .expect("Curie preset");
+    eprintln!(
+        "\n=== Table 8 on {} ===\n{}",
+        curie.name,
+        render_table8(&table8(&curie))
+    );
+
+    let w = measure_workload();
+    let mut g = c.benchmark_group("table8");
+    g.sample_size(10);
+    g.bench_function("mae_and_eloss_comparison", |b| {
+        b.iter(|| std::hint::black_box(table8(&w)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

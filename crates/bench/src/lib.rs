@@ -1,0 +1,49 @@
+//! # predictsim-bench
+//!
+//! Criterion benchmark harness for *predictsim-rs*: one bench target per
+//! table and figure of the paper, plus engine micro-benchmarks.
+//!
+//! Every table/figure bench does two things:
+//!
+//! 1. **regenerates the experiment once** at bench scale and prints the
+//!    rows/series to stderr (so `cargo bench` doubles as a smoke
+//!    reproduction);
+//! 2. **measures** the end-to-end computation with Criterion on small
+//!    workloads, tracking the performance of the simulator + learner
+//!    stack over time.
+//!
+//! Full-size reproductions belong to the `repro` binary
+//! (`cargo run --release -p predictsim-experiments --bin repro -- all`).
+
+#![forbid(unsafe_code)]
+
+use predictsim_experiments::ExperimentSetup;
+use predictsim_workload::GeneratedWorkload;
+
+/// Scale used for the printed reproduction inside benches.
+pub const PRINT_SCALE: f64 = 0.02;
+
+/// Scale used for the measured iterations (kept small so Criterion's
+/// repeated sampling stays fast).
+pub const MEASURE_SCALE: f64 = 0.005;
+
+/// Workloads for the printed reproduction (all six logs).
+pub fn print_workloads() -> Vec<GeneratedWorkload> {
+    ExperimentSetup { scale: PRINT_SCALE, ..ExperimentSetup::quick() }.workloads()
+}
+
+/// A single small workload for the measured iterations.
+pub fn measure_workload() -> GeneratedWorkload {
+    ExperimentSetup { scale: MEASURE_SCALE, ..ExperimentSetup::quick() }
+        .workload("kth")
+        .expect("KTH preset exists")
+}
+
+/// Two small workloads (for cross-log experiments).
+pub fn measure_workload_pair() -> Vec<GeneratedWorkload> {
+    let setup = ExperimentSetup { scale: MEASURE_SCALE, ..ExperimentSetup::quick() };
+    vec![
+        setup.workload("kth").expect("KTH preset"),
+        setup.workload("sdsc-sp2").expect("SDSC-SP2 preset"),
+    ]
+}

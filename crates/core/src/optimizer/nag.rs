@@ -1,0 +1,198 @@
+//! The Normalized Adaptive Gradient algorithm (NAG) — reference \[19\] of
+//! the paper (Ross, Mineiro & Langford, *Normalized Online Learning*,
+//! UAI 2013).
+//!
+//! NAG maintains a per-coordinate scale estimate `s_i = max_t |φ_{t,i}|`.
+//! When a coordinate's scale grows, the corresponding weight is shrunk by
+//! the squared scale ratio so that past learning is reinterpreted at the
+//! new scale instead of producing a huge spurious prediction. Updates are
+//! normalized per coordinate by `s_i` and globally by `√(t/N)` where `N`
+//! accumulates `Σ_i (φ_{t,i}/s_i)²`, and adapted per coordinate by the
+//! AdaGrad factor `√G_i` (accumulated squared gradients):
+//!
+//! ```text
+//! for i with |φ_i| > s_i:   w_i ← w_i · s_i²/φ_i²;   s_i ← |φ_i|
+//! N ← N + Σ_i (φ_i/s_i)²
+//! g_i = (∂L/∂f)·φ_i + 2λw_i
+//! G_i ← G_i + g_i²
+//! w_i ← w_i − η √(t/N) · g_i / (s_i √G_i)
+//! ```
+//!
+//! The resulting learner is invariant (up to floating point) to any fixed
+//! per-feature rescaling of the inputs — the property §4.2 demands because
+//! features like *Break Time* are unbounded ("robustness to feature
+//! scaling is a requirement of our problem"). The invariance is verified
+//! by a property test in this crate's test suite.
+
+use crate::optimizer::{clip_ratio, coordinate_gradient, OnlineOptimizer};
+
+/// NAG optimizer state.
+#[derive(Debug, Clone)]
+pub struct NagOptimizer {
+    eta: f64,
+    /// Per-coordinate scales `s_i` (max absolute feature value seen).
+    scale: Vec<f64>,
+    /// Per-coordinate accumulated squared gradients `G_i`.
+    g2: Vec<f64>,
+    /// Global normalizer `N`.
+    n_acc: f64,
+    /// Example counter `t`.
+    t: u64,
+}
+
+impl NagOptimizer {
+    /// NAG over `dim` weights with learning rate `eta`.
+    pub fn new(dim: usize, eta: f64) -> Self {
+        assert!(eta > 0.0, "learning rate must be positive");
+        Self { eta, scale: vec![0.0; dim], g2: vec![0.0; dim], n_acc: 0.0, t: 0 }
+    }
+
+    /// The per-coordinate scales learned so far (for inspection).
+    pub fn scales(&self) -> &[f64] {
+        &self.scale
+    }
+}
+
+impl OnlineOptimizer for NagOptimizer {
+    fn prepare(&mut self, weights: &mut [f64], phi: &[f64]) {
+        debug_assert_eq!(weights.len(), phi.len());
+        debug_assert_eq!(weights.len(), self.scale.len());
+        for i in 0..phi.len() {
+            let a = phi[i].abs();
+            if a > self.scale[i] {
+                if self.scale[i] > 0.0 {
+                    let ratio = self.scale[i] / a;
+                    weights[i] *= ratio * ratio;
+                }
+                self.scale[i] = a;
+            }
+        }
+    }
+
+    fn step_bounded(
+        &mut self,
+        weights: &mut [f64],
+        phi: &[f64],
+        dloss_df: f64,
+        l2: f64,
+        max_abs_df: f64,
+    ) {
+        debug_assert_eq!(weights.len(), phi.len());
+        self.t += 1;
+        // Global normalizer: squared feature magnitudes in scale units.
+        let mut contrib = 0.0;
+        for i in 0..phi.len() {
+            if self.scale[i] > 0.0 {
+                let r = phi[i] / self.scale[i];
+                contrib += r * r;
+            }
+        }
+        self.n_acc += contrib;
+        if self.n_acc <= 0.0 {
+            return; // all-zero example: nothing to learn from
+        }
+        let global = self.eta * (self.t as f64 / self.n_acc).sqrt();
+        // Tentative per-coordinate deltas (the incoming gradient counts
+        // in its own AdaGrad denominator) and the prediction change they
+        // would cause.
+        let mut df = 0.0;
+        for i in 0..weights.len() {
+            if self.scale[i] == 0.0 {
+                continue;
+            }
+            let g = coordinate_gradient(dloss_df, phi[i], l2, weights[i]);
+            let g2 = self.g2[i] + g * g;
+            if g2 > 0.0 {
+                df -= global * g * phi[i] / (self.scale[i] * g2.sqrt());
+            }
+        }
+        let r = clip_ratio(df, max_abs_df);
+        for i in 0..weights.len() {
+            if self.scale[i] == 0.0 {
+                continue;
+            }
+            let g = coordinate_gradient(dloss_df, phi[i], l2, weights[i]);
+            let g2 = self.g2[i] + g * g;
+            if g2 > 0.0 {
+                weights[i] -= r * global * g / (self.scale[i] * g2.sqrt());
+            }
+            let rg = r * g;
+            self.g2[i] += rg * rg;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "nag"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_rescales_weights_on_scale_growth() {
+        let mut opt = NagOptimizer::new(1, 0.5);
+        let mut w = vec![4.0];
+        opt.prepare(&mut w, &[1.0]); // establish scale 1
+        assert_eq!(w[0], 4.0);
+        opt.prepare(&mut w, &[10.0]); // scale grows 10x
+        // w shrinks by (1/10)² so w·φ stays comparable: 4*100 -> 0.04*... .
+        assert!((w[0] - 0.04).abs() < 1e-12, "got {}", w[0]);
+        assert_eq!(opt.scales(), &[10.0]);
+    }
+
+    #[test]
+    fn prediction_preserved_under_rescale() {
+        // The rescaling keeps w·φ_new == (w_old·φ_old) · (φ_new/φ_old)⁻¹…
+        // precisely: w_new·φ_new = w_old·s²/φ_new² · φ_new = w_old·s²/φ_new.
+        // The invariance that matters is end-to-end and is property-tested
+        // in tests/nag_invariance.rs; here we sanity check the formula.
+        let mut opt = NagOptimizer::new(1, 0.5);
+        let mut w = vec![2.0];
+        opt.prepare(&mut w, &[3.0]);
+        let before = w[0] * 3.0;
+        opt.prepare(&mut w, &[6.0]);
+        let after = w[0] * 6.0;
+        assert!((after - before / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_features_are_inert() {
+        let mut opt = NagOptimizer::new(2, 0.5);
+        let mut w = vec![0.0, 0.0];
+        opt.prepare(&mut w, &[1.0, 0.0]);
+        opt.step(&mut w, &[1.0, 0.0], -1.0, 0.0);
+        assert_eq!(w[1], 0.0, "never-seen feature must keep zero weight");
+        assert!(w[0] > 0.0);
+    }
+
+    #[test]
+    fn all_zero_example_is_skipped() {
+        let mut opt = NagOptimizer::new(2, 0.5);
+        let mut w = vec![0.0, 0.0];
+        opt.prepare(&mut w, &[0.0, 0.0]);
+        opt.step(&mut w, &[0.0, 0.0], -1.0, 0.0);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fits_wildly_scaled_features() {
+        // The NAG selling point (§4.2): features on absurd scales — here
+        // x ∈ [10⁴, 10⁵] — need no manual normalization. Targets are O(1),
+        // the regime the model layer guarantees via target normalization.
+        let mut opt = NagOptimizer::new(2, 0.5);
+        let mut w = vec![0.0, 0.0];
+        let mut last = f64::NAN;
+        for round in 0..5000 {
+            let x = 10_000.0 * (1.0 + (round % 10) as f64);
+            let phi = [1.0, x];
+            let y = x / 100_000.0; // in [0.1, 1.0]
+            opt.prepare(&mut w, &phi);
+            let f = w[0] + w[1] * x;
+            opt.step(&mut w, &phi, 2.0 * (f - y), 0.0);
+            last = (f - y).abs();
+        }
+        assert!(last < 0.05, "error {last} too high");
+    }
+}

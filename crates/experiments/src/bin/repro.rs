@@ -1,0 +1,282 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENTS
+//!   table1     EASY vs EASY-Clairvoyant per log           (§2.2, Table 1)
+//!   table6     AVEbsld overview of all heuristic triples  (§6.3, Table 6)
+//!   table7     cross-validated triple selection           (§6.3, Table 7)
+//!   table8     MAE vs mean E-Loss on Curie                (§6.4, Table 8)
+//!   fig3       inter-log scatter + Pearson aggregate      (§6.3, Figure 3)
+//!   fig4       ECDF of prediction errors on Curie         (§6.4, Figure 4)
+//!   fig5       ECDF of predicted values on Curie          (§6.4, Figure 5)
+//!   ablation   scheduler/correction/optimizer/basis/loss ablations
+//!   all        everything above (campaigns are shared)
+//!
+//! OPTIONS
+//!   --scale F    preset scale factor (default 0.05; 1.0 = full Table 4)
+//!   --full       shorthand for --scale 1.0
+//!   --seed N     workload generation seed (default 20150101)
+//!   --out DIR    also write JSON artifacts (campaigns, figures) to DIR
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use predictsim_experiments::ablation;
+use predictsim_experiments::campaign::{run_campaign, CampaignResult};
+use predictsim_experiments::context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
+use predictsim_experiments::figures::{fig3, fig4_fig5, render_ecdf_series, render_fig3};
+use predictsim_experiments::tables::{
+    render_table1, render_table6, render_table7, render_table8, table1, table6, table7, table8,
+};
+use predictsim_experiments::triple::{campaign_triples, reference_triples, HeuristicTriple};
+use predictsim_workload::GeneratedWorkload;
+
+struct Options {
+    setup: ExperimentSetup,
+    out_dir: Option<std::path::PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut setup = ExperimentSetup { scale: QUICK_SCALE, seed: DEFAULT_SEED };
+    let mut out_dir = None;
+    let mut experiments = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                setup.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--full" => setup.scale = 1.0,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                setup.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => {
+                out_dir = Some(std::path::PathBuf::from(
+                    args.next().ok_or("--out needs a directory")?,
+                ));
+            }
+            "--help" | "-h" => {
+                experiments.clear();
+                experiments.push("help".into());
+                return Ok(Options { setup, out_dir, experiments });
+            }
+            other if !other.starts_with('-') => experiments.push(other.to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("help".into());
+    }
+    Ok(Options { setup, out_dir, experiments })
+}
+
+fn write_json<T: serde::Serialize>(dir: &Option<std::path::PathBuf>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create --out directory");
+    let path = dir.join(name);
+    let mut file = std::fs::File::create(&path).expect("create artifact file");
+    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    file.write_all(json.as_bytes()).expect("write artifact");
+    println!("  wrote {}", path.display());
+}
+
+/// Campaigns (128 triples + 2 clairvoyant references per log) are the
+/// expensive shared input of table6/table7/fig3; compute them once.
+fn campaigns(workloads: &[GeneratedWorkload]) -> Vec<CampaignResult> {
+    let mut triples = campaign_triples();
+    triples.extend(reference_triples());
+    workloads
+        .iter()
+        .map(|w| {
+            let t0 = Instant::now();
+            let c = run_campaign(w, &triples);
+            eprintln!(
+                "  campaign {}: {} triples x {} jobs in {:.1}s",
+                c.log,
+                c.results.len(),
+                c.jobs,
+                t0.elapsed().as_secs_f64()
+            );
+            c
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\nrun `repro --help` for usage");
+            std::process::exit(2);
+        }
+    };
+    if opts.experiments.iter().any(|e| e == "help") {
+        print!("{USAGE}");
+        return;
+    }
+
+    let wants = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
+    let needs_campaigns = wants("table6") || wants("table7") || wants("fig3");
+
+    println!(
+        "# predictsim repro — scale {}, seed {}\n",
+        opts.setup.scale, opts.setup.seed
+    );
+    let t0 = Instant::now();
+    let workloads = opts.setup.workloads();
+    for w in &workloads {
+        eprintln!(
+            "  generated {}: {} jobs, m={}, offered util {:.2}",
+            w.name,
+            w.jobs.len(),
+            w.machine_size,
+            w.stats.offered_utilization
+        );
+    }
+
+    if wants("table1") {
+        println!("## Table 1 — EASY vs EASY-Clairvoyant (§2.2)\n");
+        let rows = table1(&workloads);
+        println!("{}", render_table1(&rows));
+        write_json(&opts.out_dir, "table1.json", &rows);
+    }
+
+    let campaign_results = if needs_campaigns {
+        eprintln!(
+            "running campaigns ({} sims/log)...",
+            campaign_triples().len() + 2
+        );
+        let cs = campaigns(&workloads);
+        write_json(&opts.out_dir, "campaigns.json", &cs);
+        Some(cs)
+    } else {
+        None
+    };
+
+    if wants("table6") {
+        let cs = campaign_results.as_ref().expect("campaigns computed");
+        println!("## Table 6 — AVEbsld overview (§6.3.1)\n");
+        let rows = table6(cs);
+        println!("{}", render_table6(&rows));
+        write_json(&opts.out_dir, "table6.json", &rows);
+    }
+
+    if wants("table7") {
+        let cs = campaign_results.as_ref().expect("campaigns computed");
+        println!("## Table 7 — cross-validated triple selection (§6.3.3)\n");
+        let outcome = table7(cs);
+        println!("{}", render_table7(&outcome));
+        write_json(&opts.out_dir, "table7.json", &outcome);
+    }
+
+    if wants("fig3") {
+        let cs = campaign_results.as_ref().expect("campaigns computed");
+        println!("## Figure 3 — inter-log correlation (§6.3.2)\n");
+        let fig = fig3(cs, "Metacentrum", "SDSC-BLUE");
+        println!("{}", render_fig3(&fig));
+        write_json(&opts.out_dir, "fig3.json", &fig);
+    }
+
+    if wants("table8") || wants("fig4") || wants("fig5") {
+        let curie = workloads
+            .iter()
+            .find(|w| w.name.starts_with("Curie"))
+            .expect("Curie preset present");
+        if wants("table8") {
+            println!("## Table 8 — MAE vs mean E-Loss on {} (§6.4)\n", curie.name);
+            let rows = table8(curie);
+            println!("{}", render_table8(&rows));
+            write_json(&opts.out_dir, "table8.json", &rows);
+        }
+        if wants("fig4") || wants("fig5") {
+            let fig = fig4_fig5(curie, 193);
+            if wants("fig4") {
+                println!(
+                    "## Figure 4 — ECDF of prediction errors on {} (§6.4)\n",
+                    fig.log
+                );
+                println!("{}", render_ecdf_series(&fig.error_series, "h"));
+            }
+            if wants("fig5") {
+                println!(
+                    "## Figure 5 — ECDF of predicted values on {} (§6.4)\n",
+                    fig.log
+                );
+                println!("{}", render_ecdf_series(&fig.value_series, "h"));
+            }
+            write_json(&opts.out_dir, "fig4_fig5.json", &fig);
+        }
+    }
+
+    if wants("ablation") {
+        let w = workloads.first().expect("at least one workload");
+        println!("## Ablations (on {})\n", w.name);
+        for (title, rows) in [
+            ("Scheduler (clairvoyant)", ablation::ablate_scheduler(w)),
+            ("Correction mechanism (E-Loss learner)", ablation::ablate_correction(w)),
+            ("Optimizer", ablation::ablate_optimizer(w)),
+            ("Basis degree", ablation::ablate_basis(w)),
+            ("Loss shape x weighting", ablation::ablate_loss(w)),
+        ] {
+            println!("{}", ablation::render_ablation(title, &rows));
+            write_json(
+                &opts.out_dir,
+                &format!(
+                    "ablation_{}.json",
+                    title.split(' ').next().expect("word").to_lowercase()
+                ),
+                &rows,
+            );
+        }
+    }
+
+    // Close with the headline comparison so `repro all` ends on the
+    // paper's summary numbers.
+    if wants("table7") {
+        let cs = campaign_results.as_ref().expect("campaigns computed");
+        let outcome = table7(cs);
+        println!("---");
+        println!(
+            "Headline: C-V triple reduces AVEbsld by {:.0}% vs EASY (paper: 28%), {:.0}% vs EASY++ (paper: 11%), max {:.0}% (paper: 86%).",
+            outcome.mean_reduction_vs_easy(),
+            outcome.mean_reduction_vs_easypp(),
+            outcome.max_reduction_vs_easy(),
+        );
+        println!(
+            "Paper's winning triple: {}; ours: {}.",
+            HeuristicTriple::paper_winner().name(),
+            outcome.global_winner
+        );
+    }
+
+    eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+const USAGE: &str = "\
+repro — regenerate the tables and figures of Gaussier et al. (SC'15)
+
+USAGE: repro [OPTIONS] <EXPERIMENT>...
+
+EXPERIMENTS
+  table1     EASY vs EASY-Clairvoyant per log           (Table 1)
+  table6     AVEbsld overview of all heuristic triples  (Table 6)
+  table7     cross-validated triple selection           (Table 7)
+  table8     MAE vs mean E-Loss on Curie                (Table 8)
+  fig3       inter-log scatter + Pearson aggregate      (Figure 3)
+  fig4       ECDF of prediction errors on Curie         (Figure 4)
+  fig5       ECDF of predicted values on Curie          (Figure 5)
+  ablation   scheduler/correction/optimizer/basis/loss ablations
+  all        everything above
+
+OPTIONS
+  --scale F    preset scale factor (default 0.05; 1.0 = full Table 4)
+  --full       shorthand for --scale 1.0
+  --seed N     workload generation seed (default 20150101)
+  --out DIR    also write JSON artifacts to DIR
+";

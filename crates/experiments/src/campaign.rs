@@ -1,0 +1,205 @@
+//! The experiment campaign runner.
+//!
+//! Runs a set of heuristic triples over a workload (in parallel via
+//! rayon — every simulation is independent) and collects per-triple
+//! scheduling and prediction metrics. A [`CampaignResult`] is the unit
+//! Tables 6–7 and Figure 3 are computed from.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use predictsim_core::{mae_of_outcomes, mean_eloss_of_outcomes};
+use predictsim_metrics::bsld::{fraction_bsld_above, max_bsld};
+use predictsim_metrics::DEFAULT_TAU;
+use predictsim_sim::{SimConfig, SimResult};
+use predictsim_workload::GeneratedWorkload;
+
+use crate::triple::HeuristicTriple;
+
+/// Aggregated metrics of one triple on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripleResult {
+    /// Triple display name (unique within a campaign).
+    pub triple: String,
+    /// Predictor component name.
+    pub predictor: String,
+    /// Correction component name, if any.
+    pub correction: Option<String>,
+    /// Backfilling variant name.
+    pub variant: String,
+    /// The paper's objective: average bounded slowdown (τ = 10 s).
+    pub ave_bsld: f64,
+    /// Maximum bounded slowdown (the §6.5 extreme-value diagnostic).
+    pub max_bsld: f64,
+    /// Fraction of jobs with bsld > 1000 (§6.5's "extremely high").
+    pub extreme_fraction: f64,
+    /// Mean waiting time, seconds.
+    pub mean_wait: f64,
+    /// Machine utilization achieved.
+    pub utilization: f64,
+    /// Total §5.2 corrections applied.
+    pub corrections: u64,
+    /// MAE of initial predictions (Table 8).
+    pub mae: f64,
+    /// Mean E-Loss of initial predictions (Table 8).
+    pub mean_eloss: f64,
+}
+
+impl TripleResult {
+    /// Builds the aggregate from a finished simulation.
+    pub fn from_sim(triple: &HeuristicTriple, result: &SimResult) -> Self {
+        let records: Vec<predictsim_metrics::BsldRecord> =
+            result.outcomes.iter().map(|o| o.bsld_record()).collect();
+        Self {
+            triple: triple.name(),
+            predictor: triple.prediction.name(),
+            correction: triple.correction.map(|c| c.name().to_string()),
+            variant: triple.variant.name().to_string(),
+            ave_bsld: result.ave_bsld(),
+            max_bsld: max_bsld(&records, DEFAULT_TAU),
+            extreme_fraction: fraction_bsld_above(&records, DEFAULT_TAU, 1000.0),
+            mean_wait: result.mean_wait(),
+            utilization: result.utilization(),
+            corrections: result.total_corrections(),
+            mae: mae_of_outcomes(&result.outcomes),
+            mean_eloss: mean_eloss_of_outcomes(&result.outcomes),
+        }
+    }
+}
+
+/// All triple results for one workload log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Workload (log) name.
+    pub log: String,
+    /// Machine size simulated.
+    pub machine_size: u32,
+    /// Number of jobs simulated.
+    pub jobs: usize,
+    /// Per-triple aggregates, in the order the triples were given.
+    pub results: Vec<TripleResult>,
+}
+
+impl CampaignResult {
+    /// Finds a triple's result by its display name.
+    pub fn get(&self, triple_name: &str) -> Option<&TripleResult> {
+        self.results.iter().find(|r| r.triple == triple_name)
+    }
+
+    /// The best (lowest AVEbsld) result, optionally restricted by a
+    /// predicate.
+    pub fn best_where<F: Fn(&TripleResult) -> bool>(&self, pred: F) -> Option<&TripleResult> {
+        self.results
+            .iter()
+            .filter(|r| pred(r))
+            .min_by(|a, b| a.ave_bsld.partial_cmp(&b.ave_bsld).expect("finite bsld"))
+    }
+
+    /// The worst (highest AVEbsld) result under a predicate.
+    pub fn worst_where<F: Fn(&TripleResult) -> bool>(&self, pred: F) -> Option<&TripleResult> {
+        self.results
+            .iter()
+            .filter(|r| pred(r))
+            .max_by(|a, b| a.ave_bsld.partial_cmp(&b.ave_bsld).expect("finite bsld"))
+    }
+
+    /// AVEbsld of a named triple; panics if absent (campaign bug).
+    pub fn bsld_of(&self, triple_name: &str) -> f64 {
+        self.get(triple_name)
+            .unwrap_or_else(|| panic!("triple {triple_name} missing from campaign"))
+            .ave_bsld
+    }
+}
+
+/// Runs `triples` on `workload`, in parallel.
+///
+/// # Panics
+///
+/// Panics if any simulation rejects the workload — the generator's output
+/// is validated, so a failure here is a bug, not an input condition.
+pub fn run_campaign(workload: &GeneratedWorkload, triples: &[HeuristicTriple]) -> CampaignResult {
+    let config = SimConfig { machine_size: workload.machine_size };
+    let results: Vec<TripleResult> = triples
+        .par_iter()
+        .map(|triple| {
+            let sim = triple
+                .run(&workload.jobs, config)
+                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
+            TripleResult::from_sim(triple, &sim)
+        })
+        .collect();
+    CampaignResult {
+        log: workload.name.clone(),
+        machine_size: workload.machine_size,
+        jobs: workload.jobs.len(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::{reference_triples, HeuristicTriple, Variant};
+    use predictsim_workload::{generate, WorkloadSpec};
+
+    fn tiny_workload() -> GeneratedWorkload {
+        let mut spec = WorkloadSpec::toy();
+        spec.jobs = 300;
+        spec.duration = 3 * 86_400;
+        generate(&spec, 11)
+    }
+
+    #[test]
+    fn campaign_runs_named_triples() {
+        let w = tiny_workload();
+        let triples = vec![
+            HeuristicTriple::standard_easy(),
+            HeuristicTriple::easy_plus_plus(),
+            HeuristicTriple::paper_winner(),
+            HeuristicTriple::clairvoyant(Variant::EasySjbf),
+        ];
+        let campaign = run_campaign(&w, &triples);
+        assert_eq!(campaign.results.len(), 4);
+        assert_eq!(campaign.jobs, 300);
+        for r in &campaign.results {
+            assert!(r.ave_bsld >= 1.0, "{}: bsld {}", r.triple, r.ave_bsld);
+            assert!(r.utilization > 0.0);
+        }
+        assert!(campaign.get("requested+easy").is_some());
+        assert!(campaign.get("nonexistent").is_none());
+        let best = campaign.best_where(|_| true).unwrap();
+        let worst = campaign.worst_where(|_| true).unwrap();
+        assert!(best.ave_bsld <= worst.ave_bsld);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_despite_parallelism() {
+        let w = tiny_workload();
+        let triples = vec![
+            HeuristicTriple::standard_easy(),
+            HeuristicTriple::paper_winner(),
+        ];
+        let a = run_campaign(&w, &triples);
+        let b = run_campaign(&w, &triples);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_triples_have_no_corrections() {
+        let w = tiny_workload();
+        let campaign = run_campaign(&w, &reference_triples());
+        for r in &campaign.results {
+            assert_eq!(r.corrections, 0, "clairvoyant must never correct");
+            assert_eq!(r.mae, 0.0, "clairvoyant MAE is zero by definition");
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w = tiny_workload();
+        let campaign = run_campaign(&w, &[HeuristicTriple::standard_easy()]);
+        let json = serde_json::to_string(&campaign).unwrap();
+        let back: CampaignResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, campaign);
+    }
+}

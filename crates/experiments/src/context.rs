@@ -1,0 +1,89 @@
+//! Experiment setup: which workloads, at what scale, from which seed.
+
+use predictsim_workload::{all_six, generate, GeneratedWorkload, WorkloadSpec};
+
+/// Default scale factor for the quick (CI-sized) experiment runs.
+pub const QUICK_SCALE: f64 = 0.05;
+
+/// Seed used by default throughout the repro harness: results in the
+/// committed EXPERIMENTS.md were produced with this seed.
+pub const DEFAULT_SEED: u64 = 20150101;
+
+/// How the repro harness generates its workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentSetup {
+    /// Scale factor applied to the Table 4 presets (1.0 = full size).
+    pub scale: f64,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+impl ExperimentSetup {
+    /// Quick setup (5% of the full log sizes): the default for `repro`,
+    /// test suites and benches; a full campaign finishes in seconds.
+    pub fn quick() -> Self {
+        Self { scale: QUICK_SCALE, seed: DEFAULT_SEED }
+    }
+
+    /// Full Table 4 sizes (28k–495k jobs per log).
+    pub fn full() -> Self {
+        Self { scale: 1.0, seed: DEFAULT_SEED }
+    }
+
+    /// The six log specs at this setup's scale.
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        if (self.scale - 1.0).abs() < f64::EPSILON {
+            all_six()
+        } else {
+            all_six().into_iter().map(|s| s.scaled(self.scale)).collect()
+        }
+    }
+
+    /// Generates all six workloads.
+    pub fn workloads(&self) -> Vec<GeneratedWorkload> {
+        self.specs().iter().map(|s| generate(s, self.seed)).collect()
+    }
+
+    /// Generates one workload by Table 4 name (case-insensitive).
+    pub fn workload(&self, name: &str) -> Option<GeneratedWorkload> {
+        self.specs()
+            .into_iter()
+            .find(|s| {
+                s.name
+                    .to_ascii_lowercase()
+                    .starts_with(&name.to_ascii_lowercase())
+            })
+            .map(|s| generate(&s, self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_setup_scales_all_six() {
+        let setup = ExperimentSetup::quick();
+        let specs = setup.specs();
+        assert_eq!(specs.len(), 6);
+        assert!(specs.iter().all(|s| s.name.contains('@')));
+        // 5% of KTH's 28k jobs.
+        assert_eq!(specs[0].jobs, 1400);
+    }
+
+    #[test]
+    fn full_setup_uses_table4_sizes() {
+        let specs = ExperimentSetup::full().specs();
+        assert_eq!(specs[0].jobs, 28_000);
+        assert_eq!(specs[4].jobs, 312_000);
+        assert!(!specs[0].name.contains('@'));
+    }
+
+    #[test]
+    fn workload_lookup_by_prefix() {
+        let setup = ExperimentSetup { scale: 0.01, seed: 1 };
+        let w = setup.workload("curie").expect("curie exists");
+        assert_eq!(w.machine_size, 80_640);
+        assert!(setup.workload("nope").is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # predictsim-experiments
+//!
+//! The experiment campaign of §6 of Gaussier et al. (SC '15), end to end:
+//!
+//! * [`triple`] — the heuristic-triple space (prediction × correction ×
+//!   backfilling variant), exactly 128 per log as in §6.2;
+//! * [`campaign`] — the parallel campaign runner;
+//! * [`cv`] — leave-one-out cross-validated triple selection (§6.3.3);
+//! * [`tables`] — regenerators for Tables 1, 6, 7 and 8;
+//! * [`figures`] — regenerators for Figures 3, 4 and 5;
+//! * [`ablation`] — additional ablations (scheduler, correction,
+//!   optimizer, basis, loss shape);
+//! * [`context`] — workload setup shared by the `repro` binary, tests
+//!   and benches.
+//!
+//! The `repro` binary regenerates any table or figure:
+//!
+//! ```text
+//! cargo run --release -p predictsim-experiments --bin repro -- all
+//! cargo run --release -p predictsim-experiments --bin repro -- table6 --scale 0.1
+//! cargo run --release -p predictsim-experiments --bin repro -- fig4 --full
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod campaign;
+pub mod context;
+pub mod cv;
+pub mod figures;
+pub mod tables;
+pub mod triple;
+
+pub use campaign::{run_campaign, CampaignResult, TripleResult};
+pub use context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
+pub use cv::{cross_validate, CvOutcome, CvRow};
+pub use triple::{
+    campaign_triples, reference_triples, CorrectionKind, HeuristicTriple, PredictionTechnique,
+    Variant,
+};

@@ -1,0 +1,137 @@
+//! Pearson's correlation coefficient.
+//!
+//! §6.3.2 of the paper measures how heuristic-triple performance correlates
+//! across workload logs, reporting a mean coefficient of 0.26 (min 0.01, max
+//! 0.80) over all log pairs, and concludes the correlation is weak — hence
+//! the need for the cross-validated triple selection of §6.3.3.
+
+/// Pearson's correlation coefficient between two equal-length samples.
+///
+/// Returns `None` when the coefficient is undefined: fewer than two points,
+/// or zero variance in either sample.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use predictsim_metrics::pearson_correlation;
+///
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((pearson_correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Mean/min/max of the pairwise Pearson coefficients between the columns of
+/// a matrix of observations, mirroring the §6.3.2 aggregate ("with a mean of
+/// 0.26 (min: 0.01, max: 0.80)").
+///
+/// `columns[k]` holds the observations of series `k` (e.g. the AVEbsld of
+/// every heuristic triple on log `k`); all columns must have equal length.
+/// Pairs with undefined correlation are skipped. Coefficients are aggregated
+/// in absolute value, matching the paper's interest in *strength* of
+/// association. Returns `None` if no pair yields a defined coefficient.
+pub fn pairwise_correlation_summary(columns: &[Vec<f64>]) -> Option<(f64, f64, f64)> {
+    let mut coeffs = Vec::new();
+    for i in 0..columns.len() {
+        for j in (i + 1)..columns.len() {
+            if let Some(r) = pearson_correlation(&columns[i], &columns[j]) {
+                coeffs.push(r.abs());
+            }
+        }
+    }
+    if coeffs.is_empty() {
+        return None;
+    }
+    let mean = coeffs.iter().sum::<f64>() / coeffs.len() as f64;
+    let min = coeffs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = coeffs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some((mean, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson_correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson_correlation(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_undefined() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson_correlation(&x, &y), None);
+    }
+
+    #[test]
+    fn too_few_points_is_undefined() {
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn known_value() {
+        // Hand-computed example: r = 0.8165 (approx).
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let r = pearson_correlation(&x, &y).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn pairwise_summary() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],  // r=1 with col0
+            vec![3.0, 2.0, 1.0],  // r=-1 with col0 -> abs = 1
+        ];
+        let (mean, min, max) = pairwise_correlation_summary(&cols).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!((min - 1.0).abs() < 1e-12);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_summary_empty() {
+        assert_eq!(pairwise_correlation_summary(&[]), None);
+        let cols = vec![vec![1.0, 1.0], vec![1.0, 2.0]];
+        // First column has zero variance -> the only pair is undefined.
+        assert_eq!(pairwise_correlation_summary(&cols), None);
+    }
+}

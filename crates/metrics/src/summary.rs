@@ -1,0 +1,136 @@
+//! Descriptive statistics used by the experiment reports.
+
+/// Descriptive summary of a sample: count, mean, standard deviation,
+/// min/max, and common percentiles.
+///
+/// Built once (`O(n log n)` for the sort) and then queried cheaply. Used by
+/// the campaign reports in `predictsim-experiments` to summarize AVEbsld
+/// distributions and per-job slowdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    std_dev: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes the summary of `sample`, ignoring non-finite values.
+    pub fn of(sample: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
+        let n = sorted.len();
+        if n == 0 {
+            return Self { n: 0, mean: 0.0, std_dev: 0.0, sorted };
+        }
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Self { n, mean, std_dev: var.sqrt(), sorted }
+    }
+
+    /// Number of finite observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 for an empty sample).
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Minimum observation. Panics on an empty sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty summary")
+    }
+
+    /// Maximum observation. Panics on an empty sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty summary")
+    }
+
+    /// Median (50th percentile). Panics on an empty sample.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Percentile in `[0, 100]` using nearest-rank. Panics on an empty
+    /// sample or out-of-range argument.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(self.n > 0, "percentile of empty summary");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let rank = ((p / 100.0) * self.n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.n) - 1]
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.n == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} p50={:.2} p95={:.2} max={:.2}",
+            self.n,
+            self.mean,
+            self.std_dev,
+            self.min(),
+            self.median(),
+            self.percentile(95.0),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0); // classic population-sd example
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 4.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::of(&(1..=10).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(s.percentile(10.0), 1.0);
+        assert_eq!(s.percentile(50.0), 5.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_filtered() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(format!("{s}"), "n=0");
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let txt = format!("{s}");
+        assert!(txt.contains("n=3"));
+        assert!(txt.contains("mean=2.00"));
+    }
+}

@@ -1,0 +1,598 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives a workload (a submit-ordered job vector) through a
+//! [`Scheduler`], consulting a
+//! [`RuntimePredictor`] at each
+//! submission and a [`CorrectionPolicy`]
+//! each time a running job outlives its prediction (§5.2 of the paper).
+//!
+//! ## Semantics
+//!
+//! * **Kill at requested time** (§2.1): a job runs for `min(p_j, p̃_j)`.
+//! * **Prediction clamping**: initial predictions are clamped to
+//!   `[1, p̃_j]`; corrected predictions to `(elapsed, p̃_j]` — §5.2 notes
+//!   updated estimates "remain bounded by the requested running times".
+//! * **On-line learning protocol**: the predictor sees each job once at
+//!   submission (predict) and once at completion (observe), in event
+//!   order, so no information from the future ever leaks into a
+//!   prediction — the train/test discipline of §4.2.
+//! * **Event batching**: all events at one instant are applied before a
+//!   single scheduling pass runs, so the scheduler always sees a
+//!   consistent snapshot (completions freeing processors, corrections
+//!   updating estimates, then arrivals).
+
+use crate::event::{EventKind, EventQueue};
+use crate::job::{Job, JobId};
+use crate::outcome::{JobOutcome, SimResult};
+use crate::predict::{CorrectionPolicy, RuntimePredictor};
+use crate::scheduler::Scheduler;
+use crate::state::{RunningJob, SchedulerContext, SystemView, WaitingJob};
+use crate::time::Time;
+
+/// Configuration for one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Machine size `m` (processor count).
+    pub machine_size: u32,
+}
+
+/// Errors detected before or during simulation. These all indicate misuse
+/// (malformed workload) or a policy bug, not a runtime condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The job vector is not sorted by submission time.
+    UnsortedJobs {
+        /// Index of the first out-of-order job.
+        position: usize,
+    },
+    /// A job's dense id does not match its index.
+    MisnumberedJob {
+        /// Index of the mismatched job.
+        position: usize,
+    },
+    /// A job fails structural validation (zero procs, …).
+    InvalidJob {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A job requests more processors than the machine has.
+    JobTooLarge {
+        /// The offending job.
+        id: JobId,
+        /// Its processor request.
+        procs: u32,
+        /// The machine size it exceeds.
+        machine: u32,
+    },
+    /// The scheduler returned a job that is not waiting, or over-committed
+    /// the machine.
+    SchedulerViolation {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnsortedJobs { position } => {
+                write!(f, "jobs not sorted by submit time at position {position}")
+            }
+            SimError::MisnumberedJob { position } => {
+                write!(f, "job at position {position} has mismatched dense id")
+            }
+            SimError::InvalidJob { message } => write!(f, "invalid job: {message}"),
+            SimError::JobTooLarge { id, procs, machine } => {
+                write!(f, "{id} requests {procs} procs on a {machine}-proc machine")
+            }
+            SimError::SchedulerViolation { message } => {
+                write!(f, "scheduler violation: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Book-keeping for one job across its lifecycle.
+#[derive(Debug, Clone, Copy)]
+struct JobBook {
+    /// Clamped prediction made at submission.
+    initial_prediction: i64,
+    /// Start time, once scheduled.
+    start: Option<Time>,
+    /// Corrections applied so far (also the expiry generation counter).
+    corrections: u32,
+}
+
+/// Runs one complete simulation.
+///
+/// `jobs` must be sorted by (submit, id) with dense ids `0..n` — exactly
+/// what [`crate::job::jobs_from_swf`] on a cleaned log produces. The
+/// `correction` policy is consulted on under-predictions; when `None`,
+/// expired predictions fall back to the requested time (the safest
+/// assumption, and the paper's *Requested Time* correction).
+pub fn simulate(
+    jobs: &[Job],
+    config: SimConfig,
+    scheduler: &mut dyn Scheduler,
+    predictor: &mut dyn RuntimePredictor,
+    correction: Option<&dyn CorrectionPolicy>,
+) -> Result<SimResult, SimError> {
+    validate_workload(jobs, config)?;
+
+    let m = config.machine_size;
+    let mut events = EventQueue::new();
+    for job in jobs {
+        events.push(job.submit, EventKind::Submit(job.id));
+    }
+
+    let mut queue: Vec<WaitingJob> = Vec::new();
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut free: u32 = m;
+    let mut books: Vec<JobBook> = jobs
+        .iter()
+        .map(|_| JobBook { initial_prediction: 0, start: None, corrections: 0 })
+        .collect();
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+
+    while let Some(first) = events.pop() {
+        let now = first.time;
+        // Apply every event at this instant, then run one scheduling pass.
+        let mut pending = vec![first.kind];
+        while events.peek_time() == Some(now) {
+            pending.push(events.pop().expect("peeked event exists").kind);
+        }
+        for kind in pending {
+            match kind {
+                EventKind::Finish(id) => {
+                    let job = &jobs[id.index()];
+                    let Some(pos) = running.iter().position(|r| r.id == id) else {
+                        unreachable!("finish event for job that is not running");
+                    };
+                    let r = running.swap_remove(pos);
+                    free += r.procs;
+                    let book = &mut books[id.index()];
+                    book.corrections = r.corrections;
+                    outcomes.push(JobOutcome {
+                        id,
+                        swf_id: job.swf_id,
+                        user: job.user,
+                        procs: job.procs,
+                        submit: job.submit,
+                        start: r.start,
+                        end: now,
+                        run: job.granted_run(),
+                        requested: job.requested,
+                        initial_prediction: book.initial_prediction,
+                        corrections: r.corrections,
+                        killed: job.is_killed(),
+                    });
+                    let view = SystemView { now, machine_size: m, running: &running };
+                    predictor.observe(job, job.granted_run(), &view);
+                }
+                EventKind::PredictionExpiry(id, generation) => {
+                    let Some(pos) = running.iter().position(|r| r.id == id) else {
+                        continue; // stale: the job already finished
+                    };
+                    if running[pos].corrections != generation {
+                        continue; // stale: superseded by a newer correction
+                    }
+                    let job = &jobs[id.index()];
+                    let r = &mut running[pos];
+                    let elapsed = now.since(r.start);
+                    let expired = r.predicted_end.since(r.start);
+                    let raw = match correction {
+                        Some(policy) => policy.correct(job, elapsed, expired, r.corrections),
+                        None => job.requested as f64,
+                    };
+                    let new_pred = clamp_correction(raw, elapsed, job.requested);
+                    r.corrections += 1;
+                    r.predicted_end = r.start.plus(new_pred);
+                    let finish_at = r.start.plus(job.granted_run());
+                    if r.predicted_end < finish_at {
+                        events.push(
+                            r.predicted_end,
+                            EventKind::PredictionExpiry(id, r.corrections),
+                        );
+                    }
+                }
+                EventKind::Submit(id) => {
+                    let job = &jobs[id.index()];
+                    let view = SystemView { now, machine_size: m, running: &running };
+                    let raw = predictor.predict(job, &view);
+                    let prediction = clamp_prediction(raw, job.requested);
+                    books[id.index()].initial_prediction = prediction;
+                    queue.push(WaitingJob {
+                        id,
+                        procs: job.procs,
+                        predicted: prediction,
+                        requested: job.requested,
+                        submit: job.submit,
+                        user: job.user,
+                    });
+                }
+            }
+        }
+
+        // One scheduling pass over the post-event state.
+        let ctx = SchedulerContext { now, machine_size: m, free, queue: &queue, running: &running };
+        let starts = scheduler.schedule(&ctx);
+        apply_starts(
+            &starts, jobs, now, &mut queue, &mut running, &mut free, &mut books, &mut events,
+        )?;
+    }
+
+    debug_assert!(queue.is_empty(), "simulation ended with waiting jobs");
+    debug_assert!(running.is_empty(), "simulation ended with running jobs");
+    outcomes.sort_by_key(|o| o.id);
+
+    Ok(SimResult {
+        machine_size: m,
+        outcomes,
+        scheduler: scheduler.name(),
+        predictor: predictor.name(),
+        correction: correction.map(|c| c.name()),
+    })
+}
+
+fn validate_workload(jobs: &[Job], config: SimConfig) -> Result<(), SimError> {
+    for (i, job) in jobs.iter().enumerate() {
+        if job.id.index() != i {
+            return Err(SimError::MisnumberedJob { position: i });
+        }
+        if let Err(message) = job.validate() {
+            return Err(SimError::InvalidJob { message });
+        }
+        if job.procs > config.machine_size {
+            return Err(SimError::JobTooLarge {
+                id: job.id,
+                procs: job.procs,
+                machine: config.machine_size,
+            });
+        }
+        if i > 0 && jobs[i - 1].submit > job.submit {
+            return Err(SimError::UnsortedJobs { position: i });
+        }
+    }
+    Ok(())
+}
+
+/// Clamps an initial prediction into `[1, requested]` (§5.2).
+fn clamp_prediction(raw: f64, requested: i64) -> i64 {
+    if !raw.is_finite() {
+        return requested;
+    }
+    (raw.round() as i64).clamp(1, requested)
+}
+
+/// Clamps a corrected prediction into `(elapsed, requested]`: it must
+/// strictly exceed the time already spent running and never pass the
+/// requested bound.
+fn clamp_correction(raw: f64, elapsed: i64, requested: i64) -> i64 {
+    if !raw.is_finite() {
+        return requested;
+    }
+    (raw.round() as i64).clamp(elapsed + 1, requested.max(elapsed + 1))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_starts(
+    starts: &[JobId],
+    jobs: &[Job],
+    now: Time,
+    queue: &mut Vec<WaitingJob>,
+    running: &mut Vec<RunningJob>,
+    free: &mut u32,
+    books: &mut [JobBook],
+    events: &mut EventQueue,
+) -> Result<(), SimError> {
+    for &id in starts {
+        let Some(pos) = queue.iter().position(|w| w.id == id) else {
+            return Err(SimError::SchedulerViolation {
+                message: format!("{id} started but is not waiting"),
+            });
+        };
+        let w = queue.remove(pos);
+        if w.procs > *free {
+            return Err(SimError::SchedulerViolation {
+                message: format!(
+                    "{id} needs {} procs but only {} are free",
+                    w.procs, *free
+                ),
+            });
+        }
+        *free -= w.procs;
+        let job = &jobs[id.index()];
+        books[id.index()].start = Some(now);
+        let predicted_end = now.plus(w.predicted);
+        let finish_at = now.plus(job.granted_run());
+        running.push(RunningJob {
+            id,
+            procs: w.procs,
+            start: now,
+            predicted_end,
+            deadline: now.plus(job.requested),
+            user: w.user,
+            corrections: 0,
+        });
+        events.push(finish_at, EventKind::Finish(id));
+        if predicted_end < finish_at {
+            events.push(predicted_end, EventKind::PredictionExpiry(id, 0));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{ClairvoyantPredictor, RequestedTimePredictor, RequestedTimeCorrection};
+    use crate::scheduler::{EasyScheduler, FcfsScheduler};
+
+    fn job(id: u32, submit: i64, run: i64, requested: i64, procs: u32, user: u32) -> Job {
+        Job {
+            id: JobId(id),
+            submit: Time(submit),
+            run,
+            requested,
+            procs,
+            user,
+            swf_id: id as u64 + 1,
+        }
+    }
+
+    fn config(m: u32) -> SimConfig {
+        SimConfig { machine_size: m }
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let jobs = [job(0, 5, 100, 200, 4, 1)];
+        let mut sched = FcfsScheduler;
+        let mut pred = RequestedTimePredictor;
+        let res = simulate(&jobs, config(8), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes.len(), 1);
+        let o = &res.outcomes[0];
+        assert_eq!(o.start, Time(5));
+        assert_eq!(o.end, Time(105));
+        assert_eq!(o.wait(), 0);
+        assert_eq!(o.initial_prediction, 200);
+        assert!(!o.killed);
+    }
+
+    #[test]
+    fn fcfs_serializes_conflicting_jobs() {
+        let jobs = [job(0, 0, 100, 100, 8, 1), job(1, 0, 50, 50, 8, 2)];
+        let mut sched = FcfsScheduler;
+        let mut pred = ClairvoyantPredictor;
+        let res = simulate(&jobs, config(8), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes[0].start, Time(0));
+        assert_eq!(res.outcomes[1].start, Time(100));
+        assert_eq!(res.outcomes[1].wait(), 100);
+    }
+
+    #[test]
+    fn easy_backfills_short_job() {
+        // Machine 10. j0 takes 6 procs for 100s. j1 (8 procs) blocked until
+        // j0 ends. j2 (4 procs, 90s) backfills at t=0 under clairvoyance.
+        let jobs = [
+            job(0, 0, 100, 100, 6, 1),
+            job(1, 1, 50, 50, 8, 2),
+            job(2, 2, 90, 90, 4, 3),
+        ];
+        let mut sched = EasyScheduler::new();
+        let mut pred = ClairvoyantPredictor;
+        let res = simulate(&jobs, config(10), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes[0].start, Time(0));
+        assert_eq!(res.outcomes[2].start, Time(2)); // backfilled on arrival
+        assert_eq!(res.outcomes[1].start, Time(100)); // head waits for j0
+    }
+
+    #[test]
+    fn requested_time_prevents_backfill_that_clairvoyance_allows() {
+        // Same scenario, but predictions are the requested times and j2
+        // requested 200s: 2+200 > 100 (shadow), extra = 10-8 = 2 < 4, so
+        // no backfill. Demonstrates Table 1's mechanism.
+        let jobs = [
+            job(0, 0, 100, 100, 6, 1),
+            job(1, 1, 50, 50, 8, 2),
+            job(2, 2, 90, 200, 4, 3),
+        ];
+        let mut sched = EasyScheduler::new();
+        let mut pred = RequestedTimePredictor;
+        let res = simulate(&jobs, config(10), &mut sched, &mut pred, None).unwrap();
+        // j2 cannot backfill at t=2 (its requested 200s overshoots the
+        // shadow and the 2 extra procs are too few); at t=100 the head j1
+        // takes 8 procs, so j2 finally starts when j1 ends.
+        assert_eq!(res.outcomes[2].start, Time(150));
+    }
+
+    #[test]
+    fn job_killed_at_requested_time() {
+        let jobs = [job(0, 0, 500, 200, 1, 1)];
+        let mut sched = FcfsScheduler;
+        let mut pred = RequestedTimePredictor;
+        let res = simulate(&jobs, config(4), &mut sched, &mut pred, None).unwrap();
+        let o = &res.outcomes[0];
+        assert_eq!(o.end, Time(200));
+        assert_eq!(o.run, 200);
+        assert!(o.killed);
+    }
+
+    #[test]
+    fn underprediction_triggers_correction() {
+        // Predictor that always says "10 seconds".
+        struct Ten;
+        impl RuntimePredictor for Ten {
+            fn predict(&mut self, _job: &Job, _s: &SystemView<'_>) -> f64 {
+                10.0
+            }
+            fn observe(&mut self, _j: &Job, _a: i64, _s: &SystemView<'_>) {}
+            fn name(&self) -> String {
+                "ten".into()
+            }
+        }
+        let jobs = [job(0, 0, 100, 1000, 1, 1)];
+        let mut sched = EasyScheduler::new();
+        let mut pred = Ten;
+        let corr = RequestedTimeCorrection;
+        let res = simulate(&jobs, config(4), &mut sched, &mut pred, Some(&corr)).unwrap();
+        let o = &res.outcomes[0];
+        assert_eq!(o.initial_prediction, 10);
+        // One expiry at t=10 -> corrected to requested (1000) -> no more.
+        assert_eq!(o.corrections, 1);
+        assert_eq!(o.end, Time(100));
+    }
+
+    #[test]
+    fn correction_fallback_without_policy() {
+        struct Ten;
+        impl RuntimePredictor for Ten {
+            fn predict(&mut self, _job: &Job, _s: &SystemView<'_>) -> f64 {
+                10.0
+            }
+            fn observe(&mut self, _j: &Job, _a: i64, _s: &SystemView<'_>) {}
+            fn name(&self) -> String {
+                "ten".into()
+            }
+        }
+        let jobs = [job(0, 0, 100, 1000, 1, 1)];
+        let mut sched = EasyScheduler::new();
+        let mut pred = Ten;
+        let res = simulate(&jobs, config(4), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes[0].corrections, 1);
+    }
+
+    #[test]
+    fn clairvoyant_never_corrects() {
+        let jobs = [
+            job(0, 0, 100, 1000, 2, 1),
+            job(1, 10, 30, 800, 2, 2),
+            job(2, 20, 60, 600, 2, 1),
+        ];
+        let mut sched = EasyScheduler::sjbf();
+        let mut pred = ClairvoyantPredictor;
+        let corr = RequestedTimeCorrection;
+        let res = simulate(&jobs, config(4), &mut sched, &mut pred, Some(&corr)).unwrap();
+        assert_eq!(res.total_corrections(), 0);
+    }
+
+    #[test]
+    fn prediction_clamped_to_requested() {
+        struct Huge;
+        impl RuntimePredictor for Huge {
+            fn predict(&mut self, _job: &Job, _s: &SystemView<'_>) -> f64 {
+                1e15
+            }
+            fn observe(&mut self, _j: &Job, _a: i64, _s: &SystemView<'_>) {}
+            fn name(&self) -> String {
+                "huge".into()
+            }
+        }
+        let jobs = [job(0, 0, 50, 300, 1, 1)];
+        let mut sched = FcfsScheduler;
+        let mut pred = Huge;
+        let res = simulate(&jobs, config(4), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes[0].initial_prediction, 300);
+    }
+
+    #[test]
+    fn non_finite_prediction_falls_back_to_requested() {
+        struct Nan;
+        impl RuntimePredictor for Nan {
+            fn predict(&mut self, _job: &Job, _s: &SystemView<'_>) -> f64 {
+                f64::NAN
+            }
+            fn observe(&mut self, _j: &Job, _a: i64, _s: &SystemView<'_>) {}
+            fn name(&self) -> String {
+                "nan".into()
+            }
+        }
+        let jobs = [job(0, 0, 50, 300, 1, 1)];
+        let mut sched = FcfsScheduler;
+        let mut pred = Nan;
+        let res = simulate(&jobs, config(4), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes[0].initial_prediction, 300);
+    }
+
+    #[test]
+    fn rejects_unsorted_jobs() {
+        let jobs = [job(0, 100, 10, 10, 1, 1), job(1, 50, 10, 10, 1, 1)];
+        let err = simulate(
+            &jobs,
+            config(4),
+            &mut FcfsScheduler,
+            &mut ClairvoyantPredictor,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::UnsortedJobs { position: 1 }));
+    }
+
+    #[test]
+    fn rejects_oversized_job() {
+        let jobs = [job(0, 0, 10, 10, 64, 1)];
+        let err = simulate(
+            &jobs,
+            config(4),
+            &mut FcfsScheduler,
+            &mut ClairvoyantPredictor,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::JobTooLarge { .. }));
+    }
+
+    #[test]
+    fn rejects_misnumbered_jobs() {
+        let jobs = [job(7, 0, 10, 10, 1, 1)];
+        let err = simulate(
+            &jobs,
+            config(4),
+            &mut FcfsScheduler,
+            &mut ClairvoyantPredictor,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::MisnumberedJob { position: 0 }));
+    }
+
+    #[test]
+    fn detects_scheduler_overcommit() {
+        struct Greedy;
+        impl Scheduler for Greedy {
+            fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId> {
+                ctx.queue.iter().map(|w| w.id).collect() // ignores capacity
+            }
+            fn name(&self) -> String {
+                "greedy".into()
+            }
+        }
+        let jobs = [job(0, 0, 10, 10, 3, 1), job(1, 0, 10, 10, 3, 1)];
+        let err = simulate(&jobs, config(4), &mut Greedy, &mut ClairvoyantPredictor, None)
+            .unwrap_err();
+        assert!(matches!(err, SimError::SchedulerViolation { .. }));
+    }
+
+    #[test]
+    fn all_jobs_complete_and_outcomes_are_ordered() {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| job(i, (i as i64) * 7 % 40, 20 + (i as i64 * 13) % 100, 200, 1 + (i % 3), i % 5))
+            .collect();
+        // jobs must be sorted by submit; sort and renumber.
+        let mut sorted = jobs;
+        sorted.sort_by_key(|j| (j.submit, j.id));
+        for (i, j) in sorted.iter_mut().enumerate() {
+            j.id = JobId(i as u32);
+        }
+        let mut sched = EasyScheduler::sjbf();
+        let mut pred = ClairvoyantPredictor;
+        let res = simulate(&sorted, config(4), &mut sched, &mut pred, None).unwrap();
+        assert_eq!(res.outcomes.len(), 50);
+        for (i, o) in res.outcomes.iter().enumerate() {
+            assert_eq!(o.id, JobId(i as u32));
+            assert!(o.start >= o.submit, "job started before submit");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The discrete-event core: event kinds and a deterministic event queue.
+//!
+//! Determinism matters: the paper's campaign compares 128 heuristic triples
+//! per log, and any tie-breaking nondeterminism in the simulator would
+//! contaminate those comparisons. Events are totally ordered by
+//! `(time, kind rank, insertion sequence)`:
+//!
+//! 1. **Finish** events first — completions free resources and teach the
+//!    predictor before anything else at the same instant;
+//! 2. **PredictionExpiry** next — corrections see the post-completion state;
+//! 3. **Submit** last — a job arriving exactly when another ends sees the
+//!    freed machine.
+
+use std::collections::BinaryHeap;
+
+use crate::job::JobId;
+use crate::time::Time;
+
+/// What happens at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A running job completes (or is killed at its requested time).
+    Finish(JobId),
+    /// A running job's predicted end passed but the job is still running;
+    /// the correction mechanism must produce a new prediction (§5.2). The
+    /// generation counter invalidates stale expiries after a correction.
+    PredictionExpiry(JobId, u32),
+    /// A job enters the waiting queue.
+    Submit(JobId),
+}
+
+impl EventKind {
+    /// Processing rank at equal times (lower runs first).
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::Finish(_) => 0,
+            EventKind::PredictionExpiry(_, _) => 1,
+            EventKind::Submit(_) => 2,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// What fires.
+    pub kind: EventKind,
+    seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to get the earliest event first.
+        (other.time, other.kind.rank(), other.seq).cmp(&(self.time, self.kind.rank(), self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic priority queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, kind, seq });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), EventKind::Submit(JobId(3)));
+        q.push(Time(10), EventKind::Submit(JobId(1)));
+        q.push(Time(20), EventKind::Submit(JobId(2)));
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn finish_before_expiry_before_submit_at_same_time() {
+        let mut q = EventQueue::new();
+        q.push(Time(5), EventKind::Submit(JobId(1)));
+        q.push(Time(5), EventKind::PredictionExpiry(JobId(2), 0));
+        q.push(Time(5), EventKind::Finish(JobId(3)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Finish(_)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::PredictionExpiry(_, _)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Submit(_)));
+    }
+
+    #[test]
+    fn same_kind_same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for id in 0..100u32 {
+            q.push(Time(1), EventKind::Submit(JobId(id)));
+        }
+        for expect in 0..100u32 {
+            match q.pop().unwrap().kind {
+                EventKind::Submit(JobId(id)) => assert_eq!(id, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time(1), EventKind::Finish(JobId(0)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Time(1)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! EASY (aggressive) backfilling, with FCFS or SJBF backfill ordering.
+//!
+//! EASY \[9\] grants a *reservation* to the first job in the queue that does
+//! not fit: the earliest future instant at which enough processors will be
+//! free, assuming running jobs end at their predicted times. Any other
+//! waiting job may be *backfilled* (started immediately) iff it cannot
+//! delay that reservation, i.e. it either completes (according to its
+//! prediction) before the reservation's *shadow time*, or it only uses
+//! *extra* processors that the reservation does not need (Mu'alem &
+//! Feitelson's classic formulation \[14\]).
+//!
+//! The paper evaluates two orderings of the backfill candidates (§5.1):
+//! arrival order (plain EASY) and increasing predicted running time —
+//! *Shortest Job Backfilled First* (EASY-SJBF, from Tsafrir et al. \[24\]).
+//! SJBF is one ingredient of the winning heuristic triple (§6.3.3).
+//!
+//! Running times enter this algorithm **only** through the predictions
+//! (`WaitingJob::predicted`, `RunningJob::predicted_end`) — this is the
+//! lever by which better predictions improve the schedule, and exactly
+//! what Figure 2 of the paper illustrates.
+
+use crate::job::JobId;
+use crate::scheduler::Scheduler;
+use crate::state::{RunningJob, SchedulerContext, WaitingJob};
+use crate::time::Time;
+
+/// Order in which backfill candidates are examined (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackfillOrder {
+    /// Arrival (FCFS) order — plain EASY.
+    #[default]
+    Fcfs,
+    /// Increasing predicted running time — EASY-SJBF \[24\]. Ties broken by
+    /// arrival order, keeping the policy deterministic.
+    ShortestFirst,
+}
+
+/// The reservation EASY computes for the blocked head job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Earliest instant at which the head job can start, assuming running
+    /// jobs end at their predicted ends.
+    pub shadow: Time,
+    /// Processors that will be free at `shadow` beyond the head job's
+    /// requirement — backfill jobs that outlive the shadow may use these.
+    pub extra: u32,
+}
+
+/// EASY backfilling scheduler.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EasyScheduler {
+    order: BackfillOrder,
+}
+
+impl EasyScheduler {
+    /// Plain EASY (FCFS backfill order).
+    pub fn new() -> Self {
+        Self { order: BackfillOrder::Fcfs }
+    }
+
+    /// EASY with the given backfill ordering.
+    pub fn with_order(order: BackfillOrder) -> Self {
+        Self { order }
+    }
+
+    /// EASY-SJBF.
+    pub fn sjbf() -> Self {
+        Self::with_order(BackfillOrder::ShortestFirst)
+    }
+
+    /// The configured backfill ordering.
+    pub fn order(&self) -> BackfillOrder {
+        self.order
+    }
+}
+
+/// Computes the head job's reservation: the shadow time and extra
+/// processors, given currently `free` processors and the predicted ends of
+/// `releases` (pairs of `(predicted end, processors)`, in any order).
+///
+/// `releases` must cumulatively free enough processors for the head,
+/// which holds whenever `head_procs ≤ machine_size`.
+pub fn head_reservation(
+    now: Time,
+    free: u32,
+    head_procs: u32,
+    releases: &mut Vec<(Time, u32)>,
+) -> Reservation {
+    debug_assert!(free < head_procs, "head fits now; no reservation needed");
+    releases.sort_unstable_by_key(|&(t, _)| t);
+    let mut avail = free;
+    for &(t, procs) in releases.iter() {
+        avail += procs;
+        if avail >= head_procs {
+            return Reservation { shadow: t, extra: avail - head_procs };
+        }
+    }
+    // Unreachable for validated inputs (head_procs ≤ machine size means all
+    // releases plus free cover it); degrade gracefully for robustness.
+    Reservation { shadow: now, extra: 0 }
+}
+
+impl Scheduler for EasyScheduler {
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId> {
+        let mut starts = Vec::new();
+        let mut free = ctx.free;
+
+        // Phase 1 — start the head of the queue while it fits (pure FCFS).
+        let mut head_idx = 0;
+        while head_idx < ctx.queue.len() && ctx.queue[head_idx].procs <= free {
+            free -= ctx.queue[head_idx].procs;
+            starts.push(ctx.queue[head_idx].id);
+            head_idx += 1;
+        }
+        if head_idx >= ctx.queue.len() {
+            return starts; // whole queue started
+        }
+
+        // Phase 2 — reservation for the blocked head. Jobs just started in
+        // phase 1 also release processors at their predicted ends and must
+        // be part of the computation.
+        let head = &ctx.queue[head_idx];
+        let mut releases: Vec<(Time, u32)> = ctx
+            .running
+            .iter()
+            .map(|r: &RunningJob| (r.predicted_end, r.procs))
+            .chain(
+                ctx.queue[..head_idx]
+                    .iter()
+                    .map(|w| (ctx.now.plus(w.predicted), w.procs)),
+            )
+            .collect();
+        let Reservation { shadow, mut extra } =
+            head_reservation(ctx.now, free, head.procs, &mut releases);
+
+        // Phase 3 — backfill the rest of the queue without delaying the
+        // reservation.
+        let mut candidates: Vec<&WaitingJob> = ctx.queue[head_idx + 1..].iter().collect();
+        if self.order == BackfillOrder::ShortestFirst {
+            candidates.sort_by_key(|j| (j.predicted, j.submit, j.id));
+        }
+        for job in candidates {
+            if job.procs > free {
+                continue;
+            }
+            let ends_by_shadow = ctx.now.plus(job.predicted) <= shadow;
+            if ends_by_shadow {
+                free -= job.procs;
+                starts.push(job.id);
+            } else if job.procs <= extra {
+                extra -= job.procs;
+                free -= job.procs;
+                starts.push(job.id);
+            }
+        }
+        starts
+    }
+
+    fn name(&self) -> String {
+        match self.order {
+            BackfillOrder::Fcfs => "easy".into(),
+            BackfillOrder::ShortestFirst => "easy-sjbf".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::testutil::{ctx, running, waiting};
+
+    #[test]
+    fn reservation_math() {
+        // 2 free now; running jobs release 4 procs at t=100 and 2 at t=50.
+        let mut releases = vec![(Time(100), 4), (Time(50), 2)];
+        let r = head_reservation(Time(0), 2, 6, &mut releases);
+        // At t=50: 4 avail (<6). At t=100: 8 avail -> shadow=100, extra=2.
+        assert_eq!(r.shadow, Time(100));
+        assert_eq!(r.extra, 2);
+    }
+
+    #[test]
+    fn reservation_uses_earliest_sufficient_instant() {
+        let mut releases = vec![(Time(30), 5), (Time(10), 1)];
+        let r = head_reservation(Time(0), 0, 1, &mut releases);
+        assert_eq!(r.shadow, Time(10));
+        assert_eq!(r.extra, 0);
+    }
+
+    #[test]
+    fn paper_figure2_scenario() {
+        // Figure 2 of the paper: machine of (say) 10 procs. Job 1 runs on 6
+        // procs until t=100. Queue: job 2 needs 8 procs (blocked), job 3
+        // needs 4 and is short -> backfilled at t0.
+        let queue = [waiting(2, 8, 200, 1), waiting(3, 4, 90, 2)];
+        let running = [running(1, 6, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+        let starts = EasyScheduler::new().schedule(&c);
+        // Job 3 ends (predicted) at 90 <= shadow 100: backfilled.
+        assert_eq!(starts, vec![JobId(3)]);
+    }
+
+    #[test]
+    fn backfill_rejected_if_it_would_delay_reservation() {
+        // Same scenario but job 3 is long (ends after shadow) and the
+        // reservation leaves 10-8=2 extra procs < 4 procs.
+        let queue = [waiting(2, 8, 200, 1), waiting(3, 4, 150, 2)];
+        let running = [running(1, 6, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+        let starts = EasyScheduler::new().schedule(&c);
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn long_backfill_allowed_on_extra_processors() {
+        // Head needs 6 of 10; shadow releases 6 at t=100, extra = 10-6-2...
+        // Setup: 4 free now, running 6 procs end t=100. Head needs 6.
+        // At t=100 avail = 10 -> extra = 4. A long 3-proc job fits in extra.
+        let queue = [waiting(2, 6, 500, 1), waiting(3, 3, 400, 2)];
+        let running = [running(1, 6, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+        let starts = EasyScheduler::new().schedule(&c);
+        assert_eq!(starts, vec![JobId(3)]);
+    }
+
+    #[test]
+    fn extra_is_consumed_by_long_backfills() {
+        // extra = 4; two long 3-proc jobs -> only the first backfills.
+        let queue = [waiting(2, 6, 500, 1), waiting(3, 3, 400, 2), waiting(4, 3, 400, 3)];
+        let running = [running(1, 6, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+        let starts = EasyScheduler::new().schedule(&c);
+        assert_eq!(starts, vec![JobId(3)]);
+    }
+
+    #[test]
+    fn short_backfills_do_not_consume_extra() {
+        // Machine 12, 6 procs busy until t=100, head needs 7 -> shadow at
+        // t=100 with extra = 12-7 = 5. Two short 2-proc jobs backfill
+        // before the shadow without touching extra; a long 2-proc job
+        // still fits in the extra afterwards.
+        let queue = [
+            waiting(2, 7, 500, 1),
+            waiting(3, 2, 50, 2),
+            waiting(4, 2, 50, 3),
+            waiting(5, 2, 400, 4),
+        ];
+        let running = [running(1, 6, 0, 100)];
+        let c = ctx(0, 12, &queue, &running);
+        let starts = EasyScheduler::new().schedule(&c);
+        assert_eq!(starts, vec![JobId(3), JobId(4), JobId(5)]);
+    }
+
+    #[test]
+    fn sjbf_examines_shortest_first() {
+        // 2 free procs; candidates in arrival order: long job then short
+        // job, both 2 procs, only one can backfill (extra=0, shadow=100).
+        // FCFS order backfills neither (first candidate too long, second
+        // fits); SJBF backfills the short one.
+        let queue = [waiting(2, 10, 500, 1), waiting(3, 2, 300, 2), waiting(4, 2, 80, 3)];
+        let running = [running(1, 8, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+
+        let fcfs_starts = EasyScheduler::new().schedule(&c);
+        // FCFS: job 3 rejected (ends at 300 > 100, extra=0 after head
+        // needs all 10), job 4 accepted (ends 80 <= 100).
+        assert_eq!(fcfs_starts, vec![JobId(4)]);
+
+        let sjbf_starts = EasyScheduler::sjbf().schedule(&c);
+        assert_eq!(sjbf_starts, vec![JobId(4)]);
+    }
+
+    #[test]
+    fn sjbf_outbackfills_fcfs_when_short_job_is_behind() {
+        // Machine 10, running job holds 8 until t=100 -> free=2. Head
+        // needs 8: shadow=100, extra=10-8=2. Candidate A (arrives first):
+        // 2 procs, predicted 300 -> outlives the shadow but fits in the 2
+        // extra procs. Candidate B: 2 procs, predicted 50 -> fits before
+        // the shadow. Only one of them can start (free=2).
+        // FCFS examines A first and gives it the slot; SJBF examines the
+        // short job B first — the behavior [24] argues improves packing.
+        let queue = [waiting(2, 8, 500, 1), waiting(3, 2, 300, 2), waiting(4, 2, 50, 3)];
+        let running = [running(1, 8, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+
+        let fcfs = EasyScheduler::new().schedule(&c);
+        assert_eq!(fcfs, vec![JobId(3)]); // long job grabbed the slot
+        let sjbf = EasyScheduler::sjbf().schedule(&c);
+        assert_eq!(sjbf, vec![JobId(4)]); // short job preferred
+    }
+
+    #[test]
+    fn whole_queue_starts_when_machine_is_free() {
+        let queue = [waiting(0, 3, 10, 0), waiting(1, 3, 10, 1), waiting(2, 4, 10, 2)];
+        let c = ctx(0, 10, &queue, &[]);
+        let starts = EasyScheduler::new().schedule(&c);
+        assert_eq!(starts.len(), 3);
+    }
+
+    #[test]
+    fn phase1_starts_feed_reservation() {
+        // Machine 4. Queue: job A (2 procs, pred 100), job B (4 procs).
+        // A starts now; B's reservation must account for A ending at 100,
+        // plus running job ending at 50. At t=50 avail=2+...
+        // free after A = 0; releases: running (2 procs @50), A (2 @100).
+        // At 50: avail 2 < 4; at 100: avail 4 -> shadow=100.
+        // Candidate C (2 procs, pred 40): free=0 -> cannot backfill.
+        let queue = [waiting(10, 2, 100, 0), waiting(11, 4, 100, 1), waiting(12, 2, 40, 2)];
+        let running = [running(1, 2, 0, 50)];
+        let c = ctx(0, 4, &queue, &running);
+        let starts = EasyScheduler::new().schedule(&c);
+        assert_eq!(starts, vec![JobId(10)]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EasyScheduler::new().name(), "easy");
+        assert_eq!(EasyScheduler::sjbf().name(), "easy-sjbf");
+        assert_eq!(EasyScheduler::sjbf().order(), BackfillOrder::ShortestFirst);
+    }
+}

@@ -1,0 +1,92 @@
+//! Scheduling policies.
+//!
+//! All policies implement [`Scheduler`]: given a read-only snapshot of the
+//! system they return the jobs to start *now*. The engine applies the
+//! decision, so policies stay pure and unit-testable.
+//!
+//! Provided policies:
+//!
+//! * [`FcfsScheduler`] — First-Come-First-Serve without backfilling;
+//! * [`EasyScheduler`] — EASY (aggressive) backfilling \[9\], with either
+//!   FCFS or Shortest-Job-Backfilled-First queue ordering during the
+//!   backfilling phase (§5.1); EASY-SJBF is the \[24\] variant the paper's
+//!   best heuristic triple uses;
+//! * [`ConservativeScheduler`] — conservative backfilling \[14\], where every
+//!   queued job holds a reservation (provided as an extension; the paper
+//!   discusses it in §2.1).
+
+pub mod conservative;
+pub mod easy;
+pub mod fcfs;
+pub mod profile;
+
+pub use conservative::ConservativeScheduler;
+pub use easy::{BackfillOrder, EasyScheduler};
+pub use fcfs::FcfsScheduler;
+
+use crate::job::JobId;
+use crate::state::SchedulerContext;
+
+/// A scheduling policy: decides which waiting jobs start now.
+pub trait Scheduler {
+    /// One scheduling pass. Returns the ids of queue jobs to start
+    /// immediately; the engine validates capacity and applies the starts.
+    ///
+    /// Invariants the engine guarantees on `ctx`: the queue is in FCFS
+    /// (submit, id) order; every running job's `predicted_end` is `> now`;
+    /// `free` equals `machine_size` minus the processors held by `running`.
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId>;
+
+    /// Display name used in reports (e.g. `"easy-sjbf"`).
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by the scheduler unit tests.
+    use crate::job::JobId;
+    use crate::state::{RunningJob, SchedulerContext, WaitingJob};
+    use crate::time::Time;
+
+    /// Builds a waiting job with prediction = requested.
+    pub fn waiting(id: u32, procs: u32, predicted: i64, submit: i64) -> WaitingJob {
+        WaitingJob {
+            id: JobId(id),
+            procs,
+            predicted,
+            requested: predicted,
+            submit: Time(submit),
+            user: 1,
+        }
+    }
+
+    /// Builds a running job.
+    pub fn running(id: u32, procs: u32, start: i64, predicted_end: i64) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            procs,
+            start: Time(start),
+            predicted_end: Time(predicted_end),
+            deadline: Time(predicted_end + 100_000),
+            user: 1,
+            corrections: 0,
+        }
+    }
+
+    /// Builds a context; `free` is derived from machine size minus running.
+    pub fn ctx<'a>(
+        now: i64,
+        machine: u32,
+        queue: &'a [WaitingJob],
+        running: &'a [RunningJob],
+    ) -> SchedulerContext<'a> {
+        let used: u32 = running.iter().map(|r| r.procs).sum();
+        SchedulerContext {
+            now: Time(now),
+            machine_size: machine,
+            free: machine - used,
+            queue,
+            running,
+        }
+    }
+}

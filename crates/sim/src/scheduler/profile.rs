@@ -1,0 +1,237 @@
+//! Processor-availability profile over future time.
+//!
+//! Conservative backfilling \[14\] plans a tentative start time for *every*
+//! waiting job, which requires reasoning about how many processors are
+//! free at every future instant, given the predicted ends of running jobs
+//! and the reservations already granted. [`Profile`] is that piecewise-
+//! constant function, with the operations conservative backfilling needs:
+//! find the earliest feasible start for a `(procs, duration)` rectangle,
+//! and carve a reservation out of the capacity.
+
+use crate::time::Time;
+
+/// Piecewise-constant "free processors" function of time.
+///
+/// Internally a sorted list of `(time, free)` breakpoints; `free` of the
+/// last breakpoint extends to infinity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    points: Vec<(i64, i64)>,
+}
+
+impl Profile {
+    /// Builds the profile as seen at `now` with `free` processors idle and
+    /// each `(end, procs)` release adding capacity at its (predicted) end.
+    ///
+    /// Releases at or before `now` are treated as immediately free (they
+    /// can occur transiently while corrections are being applied).
+    pub fn new(now: Time, free: u32, releases: &[(Time, u32)]) -> Self {
+        let mut deltas: Vec<(i64, i64)> = releases
+            .iter()
+            .map(|&(t, p)| (t.0.max(now.0), p as i64))
+            .collect();
+        deltas.sort_unstable();
+        let mut points = Vec::with_capacity(deltas.len() + 1);
+        points.push((now.0, free as i64));
+        for (t, p) in deltas {
+            let (last_t, last_free) = *points.last().expect("profile never empty");
+            if t == last_t {
+                points.last_mut().expect("non-empty").1 = last_free + p;
+            } else {
+                points.push((t, last_free + p));
+            }
+        }
+        Self { points }
+    }
+
+    /// Free processors at instant `t` (clamped to the profile's start).
+    pub fn free_at(&self, t: i64) -> i64 {
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Earliest start `s ≥ from` such that at least `procs` processors are
+    /// free during the whole interval `[s, s + duration)`.
+    ///
+    /// Feasibility is guaranteed whenever `procs` does not exceed the
+    /// machine size, because capacity is non-decreasing after the last
+    /// breakpoint.
+    pub fn earliest_start(&self, from: i64, procs: u32, duration: i64) -> i64 {
+        let procs = procs as i64;
+        debug_assert!(duration > 0, "reservation must have positive duration");
+        // Candidate starts: `from` itself and every later breakpoint.
+        let mut candidates: Vec<i64> = vec![from];
+        candidates.extend(
+            self.points
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| t > from),
+        );
+        'candidate: for s in candidates {
+            if self.free_at(s) < procs {
+                continue;
+            }
+            // Check every breakpoint inside (s, s+duration).
+            for &(t, f) in &self.points {
+                if t <= s {
+                    continue;
+                }
+                if t >= s + duration {
+                    break;
+                }
+                if f < procs {
+                    continue 'candidate;
+                }
+            }
+            return s;
+        }
+        // With procs ≤ machine size this is unreachable; degrade to the
+        // profile's horizon for robustness.
+        self.points.last().map(|&(t, _)| t.max(from)).unwrap_or(from)
+    }
+
+    /// Removes `procs` processors during `[start, start + duration)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the interval would drive capacity negative
+    /// — callers must only reserve what [`Profile::earliest_start`]
+    /// declared feasible.
+    pub fn reserve(&mut self, start: i64, duration: i64, procs: u32) {
+        let procs = procs as i64;
+        let end = start + duration;
+        self.ensure_breakpoint(start);
+        self.ensure_breakpoint(end);
+        for (t, f) in self.points.iter_mut() {
+            if *t >= start && *t < end {
+                *f -= procs;
+                debug_assert!(*f >= 0, "over-reserved profile at t={t}: {f}");
+            }
+        }
+    }
+
+    fn ensure_breakpoint(&mut self, t: i64) {
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(_) => {}
+            Err(0) => {
+                // Before profile start: extend backwards with the same free
+                // count (callers only reserve from `now` on, so this is a
+                // defensive path).
+                let f = self.points[0].1;
+                self.points.insert(0, (t, f));
+            }
+            Err(i) => {
+                let f = self.points[i - 1].1;
+                self.points.insert(i, (t, f));
+            }
+        }
+    }
+
+    /// The breakpoints, for inspection in tests.
+    pub fn points(&self) -> &[(i64, i64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        // now=0, 2 free; +4 at t=100; +2 at t=50 -> [(0,2),(50,4),(100,8)]
+        Profile::new(Time(0), 2, &[(Time(100), 4), (Time(50), 2)])
+    }
+
+    #[test]
+    fn construction_accumulates_releases() {
+        let p = profile();
+        assert_eq!(p.points(), &[(0, 2), (50, 4), (100, 8)]);
+    }
+
+    #[test]
+    fn releases_at_same_instant_merge() {
+        let p = Profile::new(Time(0), 0, &[(Time(10), 1), (Time(10), 2)]);
+        assert_eq!(p.points(), &[(0, 0), (10, 3)]);
+    }
+
+    #[test]
+    fn past_releases_count_as_immediate() {
+        let p = Profile::new(Time(100), 1, &[(Time(50), 3)]);
+        assert_eq!(p.points(), &[(100, 4)]);
+    }
+
+    #[test]
+    fn free_at_steps() {
+        let p = profile();
+        assert_eq!(p.free_at(0), 2);
+        assert_eq!(p.free_at(49), 2);
+        assert_eq!(p.free_at(50), 4);
+        assert_eq!(p.free_at(1_000_000), 8);
+        assert_eq!(p.free_at(-10), 2); // clamped
+    }
+
+    #[test]
+    fn earliest_start_immediate_fit() {
+        let p = profile();
+        assert_eq!(p.earliest_start(0, 2, 1000), 0);
+    }
+
+    #[test]
+    fn earliest_start_waits_for_capacity() {
+        let p = profile();
+        assert_eq!(p.earliest_start(0, 3, 10), 50);
+        assert_eq!(p.earliest_start(0, 8, 10), 100);
+    }
+
+    #[test]
+    fn earliest_start_respects_from() {
+        let p = profile();
+        assert_eq!(p.earliest_start(70, 3, 10), 70);
+    }
+
+    #[test]
+    fn reserve_carves_capacity() {
+        let mut p = profile();
+        p.reserve(0, 50, 2); // consume both free procs until t=50
+        assert_eq!(p.free_at(0), 0);
+        assert_eq!(p.free_at(49), 0);
+        assert_eq!(p.free_at(50), 4);
+        // Now a 1-proc job must wait until 50.
+        assert_eq!(p.earliest_start(0, 1, 10), 50);
+    }
+
+    #[test]
+    fn reserve_inserts_breakpoints() {
+        let mut p = profile();
+        p.reserve(10, 20, 1); // [10,30)
+        assert_eq!(p.free_at(9), 2);
+        assert_eq!(p.free_at(10), 1);
+        assert_eq!(p.free_at(29), 1);
+        assert_eq!(p.free_at(30), 2);
+    }
+
+    #[test]
+    fn reservation_spanning_releases() {
+        let mut p = profile();
+        // 4 procs for [50, 150): uses the t=50 capacity of 4 entirely,
+        // leaving 4 at t=100.
+        assert_eq!(p.earliest_start(0, 4, 100), 50);
+        p.reserve(50, 100, 4);
+        assert_eq!(p.free_at(50), 0);
+        assert_eq!(p.free_at(100), 4);
+        assert_eq!(p.free_at(150), 8);
+    }
+
+    #[test]
+    fn sequential_reservations_stack() {
+        let mut p = Profile::new(Time(0), 4, &[]);
+        let s1 = p.earliest_start(0, 3, 100);
+        p.reserve(s1, 100, 3);
+        let s2 = p.earliest_start(0, 3, 100);
+        assert_eq!(s1, 0);
+        assert_eq!(s2, 100); // must queue behind the first
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared read views of the simulator state.
+//!
+//! Schedulers and predictors never mutate engine state directly; they read
+//! these snapshot views and return decisions, which keeps every policy a
+//! (mostly) pure function that is easy to unit-test in isolation.
+
+use crate::job::JobId;
+use crate::time::Time;
+
+/// A job sitting in the waiting queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitingJob {
+    /// Which job.
+    pub id: JobId,
+    /// Resource requirement `q_j`.
+    pub procs: u32,
+    /// Current predicted running time `p̂_j` used for scheduling decisions.
+    pub predicted: i64,
+    /// Requested running time `p̃_j` (the kill bound, never exceeded by
+    /// `predicted`).
+    pub requested: i64,
+    /// Submission date (queue priority under FCFS).
+    pub submit: Time,
+    /// Submitting user.
+    pub user: u32,
+}
+
+/// A job currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Which job.
+    pub id: JobId,
+    /// Processors held.
+    pub procs: u32,
+    /// When it started.
+    pub start: Time,
+    /// When the scheduler currently believes it will end
+    /// (`start + current prediction`), updated by corrections.
+    pub predicted_end: Time,
+    /// Requested-time bound on the end (`start + p̃`); the job is killed
+    /// at this instant at the latest, so no prediction may exceed it.
+    pub deadline: Time,
+    /// Submitting user.
+    pub user: u32,
+    /// How many corrections (§5.2) this job has received so far.
+    pub corrections: u32,
+}
+
+impl RunningJob {
+    /// Time the job has been running as of `now`.
+    #[inline]
+    pub fn elapsed(&self, now: Time) -> i64 {
+        now.since(self.start)
+    }
+
+    /// Predicted remaining running time as of `now` (can be negative if
+    /// the prediction already expired and is awaiting correction).
+    #[inline]
+    pub fn predicted_remaining(&self, now: Time) -> i64 {
+        self.predicted_end.since(now)
+    }
+}
+
+/// Snapshot handed to a [`crate::scheduler::Scheduler`] for one pass.
+#[derive(Debug)]
+pub struct SchedulerContext<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// Machine size `m`.
+    pub machine_size: u32,
+    /// Processors currently idle.
+    pub free: u32,
+    /// Waiting queue in FCFS (arrival) order.
+    pub queue: &'a [WaitingJob],
+    /// Running jobs, unordered.
+    pub running: &'a [RunningJob],
+}
+
+/// Snapshot handed to a [`crate::predict::RuntimePredictor`] when a job is
+/// submitted. Carries the "current state of the system" features of
+/// Table 2 (jobs currently running, occupied resources, …).
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    /// Current simulation time (the job's release date).
+    pub now: Time,
+    /// Machine size `m`.
+    pub machine_size: u32,
+    /// Running jobs, unordered.
+    pub running: &'a [RunningJob],
+}
+
+impl SystemView<'_> {
+    /// Iterator over running jobs belonging to `user` — the basis of the
+    /// "currently running" features of Table 2.
+    pub fn running_of_user(&self, user: u32) -> impl Iterator<Item = &RunningJob> {
+        self.running.iter().filter(move |r| r.user == user)
+    }
+
+    /// Total processors occupied by `user` right now
+    /// (Table 2's "Occupied Resources").
+    pub fn occupied_resources(&self, user: u32) -> u64 {
+        self.running_of_user(user).map(|r| r.procs as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rj(id: u32, user: u32, procs: u32, start: i64, pend: i64) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            procs,
+            start: Time(start),
+            predicted_end: Time(pend),
+            deadline: Time(pend + 1000),
+            user,
+            corrections: 0,
+        }
+    }
+
+    #[test]
+    fn elapsed_and_remaining() {
+        let r = rj(1, 1, 4, 100, 500);
+        assert_eq!(r.elapsed(Time(250)), 150);
+        assert_eq!(r.predicted_remaining(Time(250)), 250);
+        assert_eq!(r.predicted_remaining(Time(600)), -100);
+    }
+
+    #[test]
+    fn system_view_user_filters() {
+        let running = vec![rj(1, 7, 4, 0, 100), rj(2, 7, 2, 0, 100), rj(3, 9, 8, 0, 100)];
+        let view = SystemView { now: Time(50), machine_size: 64, running: &running };
+        assert_eq!(view.running_of_user(7).count(), 2);
+        assert_eq!(view.occupied_resources(7), 6);
+        assert_eq!(view.occupied_resources(9), 8);
+        assert_eq!(view.occupied_resources(5), 0);
+    }
+}

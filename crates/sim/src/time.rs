@@ -1,0 +1,121 @@
+//! Simulation time.
+//!
+//! The simulator uses integer seconds, matching the SWF format's
+//! resolution. [`Time`] is an absolute instant (seconds since the log
+//! origin); durations are plain `i64` seconds, which keeps arithmetic with
+//! SWF fields friction-free.
+
+/// An absolute simulation instant, in seconds since the log origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub i64);
+
+/// Seconds in one minute.
+pub const MINUTE: i64 = 60;
+/// Seconds in one hour.
+pub const HOUR: i64 = 3600;
+/// Seconds in one day (the paper's `t_day` periodic-feature period).
+pub const DAY: i64 = 86_400;
+/// Seconds in one week (the paper's `t_week` periodic-feature period).
+pub const WEEK: i64 = 7 * DAY;
+
+impl Time {
+    /// The log origin.
+    pub const ZERO: Time = Time(0);
+
+    /// Seconds since the origin.
+    #[inline]
+    pub fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// This instant shifted forward by `secs` seconds (may be negative).
+    #[inline]
+    pub fn plus(self, secs: i64) -> Time {
+        Time(self.0 + secs)
+    }
+
+    /// Signed duration `self - earlier`, in seconds.
+    #[inline]
+    pub fn since(self, earlier: Time) -> i64 {
+        self.0 - earlier.0
+    }
+}
+
+impl std::fmt::Display for Time {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.0;
+        let (d, rem) = (s.div_euclid(DAY), s.rem_euclid(DAY));
+        let (h, rem) = (rem / HOUR, rem % HOUR);
+        let (m, sec) = (rem / MINUTE, rem % MINUTE);
+        write!(f, "{d}d{h:02}:{m:02}:{sec:02}")
+    }
+}
+
+impl From<i64> for Time {
+    fn from(v: i64) -> Self {
+        Time(v)
+    }
+}
+
+/// Formats a duration in seconds as a compact human-readable string,
+/// used by reports ("2h05", "3d12h", "45s").
+pub fn format_duration(secs: i64) -> String {
+    let neg = secs < 0;
+    let s = secs.abs();
+    let body = if s >= DAY {
+        format!("{}d{:02}h", s / DAY, (s % DAY) / HOUR)
+    } else if s >= HOUR {
+        format!("{}h{:02}", s / HOUR, (s % HOUR) / MINUTE)
+    } else if s >= MINUTE {
+        format!("{}m{:02}", s / MINUTE, s % MINUTE)
+    } else {
+        format!("{s}s")
+    };
+    if neg {
+        format!("-{body}")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time(100);
+        assert_eq!(t.plus(50), Time(150));
+        assert_eq!(t.plus(-200), Time(-100));
+        assert_eq!(Time(500).since(Time(100)), 400);
+        assert_eq!(Time(100).since(Time(500)), -400);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time(1) < Time(2));
+        assert!(Time(-5) < Time::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Time(0)), "0d00:00:00");
+        assert_eq!(format!("{}", Time(DAY + HOUR + MINUTE + 1)), "1d01:01:01");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(30), "30s");
+        assert_eq!(format_duration(90), "1m30");
+        assert_eq!(format_duration(2 * HOUR + 5 * MINUTE), "2h05");
+        assert_eq!(format_duration(3 * DAY + 12 * HOUR), "3d12h");
+        assert_eq!(format_duration(-90), "-1m30");
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(MINUTE * 60, HOUR);
+        assert_eq!(HOUR * 24, DAY);
+        assert_eq!(DAY * 7, WEEK);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the simulation engine and schedulers.
+//!
+//! Random workloads are pushed through every scheduler × predictor
+//! combination; the resulting schedules must pass the independent audit
+//! (capacity, release dates, durations) and satisfy policy-specific
+//! guarantees (FCFS order preservation, completeness, determinism).
+
+use proptest::prelude::*;
+
+use predictsim_sim::audit::audit;
+use predictsim_sim::engine::{simulate, SimConfig};
+use predictsim_sim::job::{Job, JobId};
+use predictsim_sim::predict::{
+    ClairvoyantPredictor, RequestedTimeCorrection, RequestedTimePredictor, RuntimePredictor,
+};
+use predictsim_sim::scheduler::{
+    ConservativeScheduler, EasyScheduler, FcfsScheduler, Scheduler,
+};
+use predictsim_sim::state::SystemView;
+use predictsim_sim::time::Time;
+
+const MACHINE: u32 = 16;
+
+/// Strategy: a workload of up to `n` jobs on a 16-proc machine, with
+/// interarrival gaps, runtimes, and over-estimated requests.
+fn arb_workload(n: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            0i64..500,       // interarrival gap
+            1i64..5_000,     // run time
+            1.0f64..10.0,    // over-estimation factor
+            1u32..=MACHINE,  // procs
+            0u32..6,         // user
+        ),
+        0..n,
+    )
+    .prop_map(|specs| {
+        let mut t = 0;
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (gap, run, over, procs, user))| {
+                t += gap;
+                let requested = ((run as f64 * over) as i64).max(run);
+                Job {
+                    id: JobId(i as u32),
+                    submit: Time(t),
+                    run,
+                    requested,
+                    procs,
+                    user,
+                    swf_id: i as u64 + 1,
+                }
+            })
+            .collect()
+    })
+}
+
+/// A deliberately bad predictor: aggressive under-prediction, which
+/// exercises the correction machinery hard.
+struct Tenth;
+impl RuntimePredictor for Tenth {
+    fn predict(&mut self, job: &Job, _s: &SystemView<'_>) -> f64 {
+        (job.granted_run() as f64 / 10.0).max(1.0)
+    }
+    fn observe(&mut self, _j: &Job, _a: i64, _s: &SystemView<'_>) {}
+    fn name(&self) -> String {
+        "tenth".into()
+    }
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(FcfsScheduler),
+        Box::new(EasyScheduler::new()),
+        Box::new(EasyScheduler::sjbf()),
+        Box::new(ConservativeScheduler),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every scheduler yields a complete, capacity-respecting schedule
+    /// under clairvoyant predictions.
+    #[test]
+    fn schedules_pass_audit_clairvoyant(jobs in arb_workload(60)) {
+        for mut sched in schedulers() {
+            let mut pred = ClairvoyantPredictor;
+            let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+                               sched.as_mut(), &mut pred, None).unwrap();
+            prop_assert_eq!(res.outcomes.len(), jobs.len());
+            let report = audit(&res);
+            prop_assert!(report.is_ok(), "{:?} audit: {:?}", res.scheduler, report);
+        }
+    }
+
+    /// Same with a massively under-predicting predictor plus corrections:
+    /// the correction path must never break the schedule invariants.
+    #[test]
+    fn schedules_pass_audit_underprediction(jobs in arb_workload(50)) {
+        for mut sched in schedulers() {
+            let mut pred = Tenth;
+            let corr = RequestedTimeCorrection;
+            let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+                               sched.as_mut(), &mut pred, Some(&corr)).unwrap();
+            prop_assert_eq!(res.outcomes.len(), jobs.len());
+            let report = audit(&res);
+            prop_assert!(report.is_ok(), "{:?} audit: {:?}", res.scheduler, report);
+        }
+    }
+
+    /// FCFS starts jobs in strict arrival order.
+    #[test]
+    fn fcfs_preserves_arrival_order(jobs in arb_workload(40)) {
+        let mut pred = RequestedTimePredictor;
+        let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+                           &mut FcfsScheduler, &mut pred, None).unwrap();
+        let mut outcomes = res.outcomes.clone();
+        outcomes.sort_by_key(|o| (o.start, o.id));
+        for w in outcomes.windows(2) {
+            // A job that started strictly earlier must not have been
+            // submitted strictly later... under FCFS with no skipping,
+            // start order equals submit order.
+            prop_assert!(
+                w[0].submit <= w[1].submit || w[0].start == w[1].start,
+                "FCFS inversion: {:?} vs {:?}", w[0], w[1]
+            );
+        }
+    }
+
+    /// Simulation is deterministic: same inputs, same outcomes.
+    #[test]
+    fn simulation_is_deterministic(jobs in arb_workload(40)) {
+        let run = |jobs: &[Job]| {
+            let mut pred = Tenth;
+            let corr = RequestedTimeCorrection;
+            simulate(jobs, SimConfig { machine_size: MACHINE },
+                     &mut EasyScheduler::sjbf(), &mut pred, Some(&corr)).unwrap()
+        };
+        let a = run(&jobs);
+        let b = run(&jobs);
+        prop_assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    /// No job ever finishes after `start + requested` (kill bound), and
+    /// every outcome's run time equals min(p, p̃).
+    #[test]
+    fn kill_bound_respected(jobs in arb_workload(40)) {
+        let mut pred = RequestedTimePredictor;
+        let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+                           &mut EasyScheduler::new(), &mut pred, None).unwrap();
+        for o in &res.outcomes {
+            let original = &jobs[o.id.index()];
+            prop_assert_eq!(o.run, original.run.min(original.requested));
+            prop_assert!(o.end.since(o.start) <= original.requested);
+        }
+    }
+
+    /// Under clairvoyant predictions, EASY backfilling is a strict
+    /// improvement over FCFS *in aggregate* — almost. The per-job
+    /// guarantee only protects the blocked queue head, and rare packing
+    /// interactions can cost other jobs a few seconds (proptest found a
+    /// 0.2s counterexample to the naive "never worse" claim). What must
+    /// hold is that EASY never loses more than marginally, and that on
+    /// contended workloads it wins.
+    #[test]
+    fn easy_does_not_meaningfully_lose_to_fcfs_clairvoyant(jobs in arb_workload(40)) {
+        let cfg = SimConfig { machine_size: MACHINE };
+        let easy = simulate(&jobs, cfg, &mut EasyScheduler::new(),
+                            &mut ClairvoyantPredictor, None).unwrap();
+        let fcfs = simulate(&jobs, cfg, &mut FcfsScheduler,
+                            &mut ClairvoyantPredictor, None).unwrap();
+        prop_assert!(easy.mean_wait() <= fcfs.mean_wait() * 1.02 + 1.0,
+                     "easy {} far above fcfs {}", easy.mean_wait(), fcfs.mean_wait());
+    }
+}

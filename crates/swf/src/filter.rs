@@ -1,0 +1,217 @@
+//! Log cleaning conventions.
+//!
+//! Production SWF logs contain records that cannot be meaningfully
+//! simulated: canceled jobs that never ran, records with missing run times
+//! or processor counts, jobs larger than the machine, and occasional
+//! submit-time inversions. The scheduling-evaluation literature (and the
+//! pyss simulator the paper forked) filters these before simulation; this
+//! module implements those conventions explicitly and reports what was
+//! dropped, because silent cleaning is a classic source of
+//! non-reproducibility (Frachtenberg & Feitelson, "Pitfalls in parallel job
+//! scheduling evaluation" — reference \[6\] of the paper).
+
+use crate::reader::SwfLog;
+
+/// Which cleaning rules to apply. The default enables everything, which is
+/// what the experiment pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleaningRules {
+    /// Drop records with no positive run time (canceled before start,
+    /// or truncated logging).
+    pub drop_unrunnable: bool,
+    /// Drop jobs requesting more processors than the machine has.
+    pub drop_oversize: bool,
+    /// Replace a missing requested time with the actual run time
+    /// (making the record usable rather than dropping it).
+    pub repair_missing_estimates: bool,
+    /// Raise a requested time that is *below* the run time up to the run
+    /// time. Production loggers record such inversions when jobs are
+    /// allowed to overrun; the simulator's kill-at-estimate semantics
+    /// (§2.1: "a job is killed if its actual running time is greater than
+    /// its requested running time") needs `p ≤ p̃`.
+    pub repair_estimate_inversions: bool,
+    /// Sort records by submit time (stable), as the simulator requires
+    /// monotone release dates.
+    pub sort_by_submit: bool,
+}
+
+impl Default for CleaningRules {
+    fn default() -> Self {
+        Self {
+            drop_unrunnable: true,
+            drop_oversize: true,
+            repair_missing_estimates: true,
+            repair_estimate_inversions: true,
+            sort_by_submit: true,
+        }
+    }
+}
+
+/// What [`clean`] did to a log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleaningReport {
+    /// Records dropped because they had no positive run time.
+    pub dropped_unrunnable: usize,
+    /// Records dropped because they exceeded the machine size.
+    pub dropped_oversize: usize,
+    /// Records whose missing requested time was repaired from the run time.
+    pub repaired_estimates: usize,
+    /// Records whose requested time was raised to the run time.
+    pub repaired_inversions: usize,
+    /// Whether a submit-time sort actually changed the order.
+    pub reordered: bool,
+    /// Records remaining after cleaning.
+    pub kept: usize,
+}
+
+/// Applies `rules` to `log` in place and reports the changes.
+///
+/// `machine_size` is the platform's processor count (used by the oversize
+/// rule); pass the value from [`SwfLog::machine_size`].
+pub fn clean(log: &mut SwfLog, machine_size: u64, rules: CleaningRules) -> CleaningReport {
+    let mut report = CleaningReport::default();
+
+    log.records.retain(|r| {
+        if rules.drop_unrunnable && r.run_time_opt().is_none() {
+            report.dropped_unrunnable += 1;
+            return false;
+        }
+        if rules.drop_unrunnable && r.effective_procs().is_none() {
+            report.dropped_unrunnable += 1;
+            return false;
+        }
+        if rules.drop_oversize {
+            if let Some(q) = r.effective_procs() {
+                if q as u64 > machine_size {
+                    report.dropped_oversize += 1;
+                    return false;
+                }
+            }
+        }
+        true
+    });
+
+    for r in &mut log.records {
+        if rules.repair_missing_estimates && r.requested_time_opt().is_none() {
+            if let Some(p) = r.run_time_opt() {
+                r.requested_time = p;
+                report.repaired_estimates += 1;
+            }
+        }
+        if rules.repair_estimate_inversions {
+            if let (Some(p), Some(pt)) = (r.run_time_opt(), r.requested_time_opt()) {
+                if pt < p {
+                    r.requested_time = p;
+                    report.repaired_inversions += 1;
+                }
+            }
+        }
+    }
+
+    if rules.sort_by_submit {
+        let sorted = log
+            .records
+            .windows(2)
+            .all(|w| w[0].submit_time <= w[1].submit_time);
+        if !sorted {
+            report.reordered = true;
+            log.records.sort_by_key(|r| (r.submit_time, r.job_id));
+        }
+    }
+
+    report.kept = log.records.len();
+    report
+}
+
+/// Convenience: cleans with default rules and the log's own machine size.
+///
+/// Returns the report; panics if the machine size cannot be determined
+/// (headerless empty log).
+pub fn clean_default(log: &mut SwfLog) -> CleaningReport {
+    let m = log
+        .machine_size()
+        .expect("cannot clean a log with unknown machine size");
+    clean(log, m, CleaningRules::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_log;
+    use crate::record::{SwfRecord, MISSING};
+
+    fn record(id: u64, submit: i64, run: i64, req_procs: i64, req_time: i64) -> SwfRecord {
+        let mut r = SwfRecord::empty(id);
+        r.submit_time = submit;
+        r.run_time = run;
+        r.requested_procs = req_procs;
+        r.requested_time = req_time;
+        r.status = 1;
+        r.user_id = 1;
+        r
+    }
+
+    #[test]
+    fn drops_unrunnable_and_oversize() {
+        let mut log = SwfLog::default();
+        log.records.push(record(1, 0, 100, 4, 200));
+        log.records.push(record(2, 1, MISSING, 4, 200)); // no run time
+        log.records.push(record(3, 2, 100, 9999, 200)); // oversize
+        log.records.push(record(4, 3, 100, MISSING, 200)); // no procs
+        let report = clean(&mut log, 64, CleaningRules::default());
+        assert_eq!(report.dropped_unrunnable, 2);
+        assert_eq!(report.dropped_oversize, 1);
+        assert_eq!(report.kept, 1);
+        assert_eq!(log.records[0].job_id, 1);
+    }
+
+    #[test]
+    fn repairs_missing_and_inverted_estimates() {
+        let mut log = SwfLog::default();
+        log.records.push(record(1, 0, 100, 4, MISSING)); // missing estimate
+        log.records.push(record(2, 1, 100, 4, 50)); // inverted estimate
+        let report = clean(&mut log, 64, CleaningRules::default());
+        assert_eq!(report.repaired_estimates, 1);
+        assert_eq!(report.repaired_inversions, 1);
+        assert_eq!(log.records[0].requested_time, 100);
+        assert_eq!(log.records[1].requested_time, 100);
+    }
+
+    #[test]
+    fn sorts_by_submit_time() {
+        let mut log = SwfLog::default();
+        log.records.push(record(1, 50, 10, 1, 20));
+        log.records.push(record(2, 10, 10, 1, 20));
+        let report = clean(&mut log, 64, CleaningRules::default());
+        assert!(report.reordered);
+        assert_eq!(log.records[0].job_id, 2);
+        // Already-sorted logs report no reorder.
+        let report2 = clean(&mut log, 64, CleaningRules::default());
+        assert!(!report2.reordered);
+    }
+
+    #[test]
+    fn rules_can_be_disabled() {
+        let mut log = SwfLog::default();
+        log.records.push(record(2, 1, MISSING, 4, 200));
+        let rules = CleaningRules {
+            drop_unrunnable: false,
+            drop_oversize: false,
+            repair_missing_estimates: false,
+            repair_estimate_inversions: false,
+            sort_by_submit: false,
+        };
+        let report = clean(&mut log, 64, rules);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped_unrunnable, 0);
+    }
+
+    #[test]
+    fn clean_default_uses_header_size() {
+        let text = "; MaxProcs: 8\n1 0 0 10 1 -1 -1 16 20 -1 1 0 0 0 0 0 -1 -1\n2 0 0 10 1 -1 -1 4 20 -1 1 0 0 0 0 0 -1 -1\n";
+        let mut log = parse_log(text).unwrap();
+        let report = clean_default(&mut log);
+        assert_eq!(report.dropped_oversize, 1);
+        assert_eq!(report.kept, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # predictsim-swf
+//!
+//! A toolkit for the **Standard Workload Format** (SWF) of the Parallel
+//! Workloads Archive (Feitelson, Tsafrir & Krakov, *"Experience with using
+//! the parallel workloads archive"*, JPDC 2014 — reference \[5\] of the
+//! reproduced paper).
+//!
+//! The SC '15 paper evaluates its prediction-augmented backfilling on six
+//! production logs distributed in SWF (Table 4). This crate provides
+//! everything needed to consume such logs — or the synthetic equivalents
+//! produced by `predictsim-workload` — and feed them to the simulator:
+//!
+//! * [`SwfRecord`] — the 18-field SWF job record ([`record`]);
+//! * [`SwfHeader`] — the `;`-prefixed header metadata (`MaxProcs`,
+//!   `UnixStartTime`, …) ([`header`]);
+//! * [`reader`] / [`writer`] — streaming parse and serialization;
+//! * [`filter`] — the cleaning conventions applied by the scheduling
+//!   literature before simulation (drop canceled jobs, repair missing
+//!   requested times, enforce submit-time ordering, …).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use predictsim_swf::{parse_log, write_log};
+//!
+//! let text = "\
+//! ; MaxProcs: 4
+//! 1 0 10 100 2 -1 -1 2 200 -1 1 7 1 3 1 -1 -1 -1
+//! 2 5 -1 50 1 -1 -1 1 100 -1 1 8 1 3 1 -1 -1 -1
+//! ";
+//! let log = parse_log(text).unwrap();
+//! assert_eq!(log.header.max_procs, Some(4));
+//! assert_eq!(log.records.len(), 2);
+//! assert_eq!(log.records[0].run_time, 100);
+//! let round_trip = parse_log(&write_log(&log)).unwrap();
+//! assert_eq!(round_trip.records, log.records);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod header;
+pub mod record;
+pub mod reader;
+pub mod writer;
+
+pub use filter::{clean, CleaningReport, CleaningRules};
+pub use header::SwfHeader;
+pub use reader::{parse_log, read_log, ParseError, SwfLog};
+pub use record::{JobStatus, SwfRecord, MISSING};
+pub use writer::{write_log, write_records};

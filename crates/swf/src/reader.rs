@@ -1,0 +1,245 @@
+//! Parsing SWF text into [`SwfLog`]s.
+//!
+//! The reader is line-oriented and tolerant in the ways the PWA logs demand
+//! (variable whitespace, blank lines, header comments interleaved at the
+//! top) but strict about data lines: a malformed field aborts the parse
+//! with a [`ParseError`] naming the line, since silently skipping jobs
+//! would bias every downstream experiment.
+
+use std::io::BufRead;
+
+use crate::header::SwfHeader;
+use crate::record::SwfRecord;
+
+/// A fully parsed SWF log: header metadata plus job records in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwfLog {
+    /// Header metadata (machine size, time origin, …).
+    pub header: SwfHeader,
+    /// Job records in the order they appear in the file.
+    pub records: Vec<SwfRecord>,
+}
+
+impl SwfLog {
+    /// Machine size: the header's `MaxProcs`/`MaxNodes` when present,
+    /// otherwise the largest processor request observed in the records
+    /// (the standard fallback when simulating headerless fragments).
+    pub fn machine_size(&self) -> Option<u64> {
+        self.header.machine_size().or_else(|| {
+            self.records
+                .iter()
+                .filter_map(|r| r.effective_procs())
+                .max()
+                .map(|m| m as u64)
+        })
+    }
+}
+
+/// Error produced when an SWF line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an in-memory SWF document.
+pub fn parse_log(text: &str) -> Result<SwfLog, ParseError> {
+    let mut log = SwfLog::default();
+    for (idx, line) in text.lines().enumerate() {
+        ingest_line(&mut log, idx + 1, line)?;
+    }
+    Ok(log)
+}
+
+/// Streams an SWF document from any buffered reader (e.g. a file).
+///
+/// I/O errors are converted into [`ParseError`]s carrying the line number
+/// reached, so callers have a single error channel.
+pub fn read_log<R: BufRead>(reader: R) -> Result<SwfLog, ParseError> {
+    let mut log = SwfLog::default();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: idx + 1,
+            message: format!("I/O error: {e}"),
+        })?;
+        ingest_line(&mut log, idx + 1, &line)?;
+    }
+    Ok(log)
+}
+
+fn ingest_line(log: &mut SwfLog, lineno: usize, line: &str) -> Result<(), ParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(());
+    }
+    if let Some(rest) = trimmed.strip_prefix(';') {
+        log.header.ingest_line(rest);
+        return Ok(());
+    }
+    log.records.push(parse_record(lineno, trimmed)?);
+    Ok(())
+}
+
+/// Parses a single 18-field SWF data line.
+pub fn parse_record(lineno: usize, line: &str) -> Result<SwfRecord, ParseError> {
+    let mut fields = [0i64; 18];
+    let mut count = 0;
+    for tok in line.split_ascii_whitespace() {
+        if count == 18 {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected 18 fields, found extra token {tok:?}"),
+            });
+        }
+        // Some logs write times with a fractional part (e.g. "12.0");
+        // accept a float syntax but require an integral value.
+        fields[count] = parse_int_field(tok).ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("field {} is not a number: {tok:?}", count + 1),
+        })?;
+        count += 1;
+    }
+    if count != 18 {
+        return Err(ParseError {
+            line: lineno,
+            message: format!("expected 18 fields, found {count}"),
+        });
+    }
+    if fields[0] < 0 {
+        return Err(ParseError {
+            line: lineno,
+            message: format!("job id must be non-negative, got {}", fields[0]),
+        });
+    }
+    Ok(SwfRecord {
+        job_id: fields[0] as u64,
+        submit_time: fields[1],
+        wait_time: fields[2],
+        run_time: fields[3],
+        allocated_procs: fields[4],
+        avg_cpu_time: fields[5],
+        used_memory: fields[6],
+        requested_procs: fields[7],
+        requested_time: fields[8],
+        requested_memory: fields[9],
+        status: fields[10],
+        user_id: fields[11],
+        group_id: fields[12],
+        executable: fields[13],
+        queue: fields[14],
+        partition: fields[15],
+        preceding_job: fields[16],
+        think_time: fields[17],
+    })
+}
+
+fn parse_int_field(tok: &str) -> Option<i64> {
+    if let Ok(v) = tok.parse::<i64>() {
+        return Some(v);
+    }
+    // Fall back to float syntax with integral value ("3600.0").
+    let f = tok.parse::<f64>().ok()?;
+    if f.fract() == 0.0 && f.abs() < 9.2e18 {
+        Some(f as i64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "3 120 30 600 8 -1 -1 8 900 -1 1 4 2 17 1 0 -1 -1";
+
+    #[test]
+    fn parses_data_line() {
+        let r = parse_record(1, LINE).unwrap();
+        assert_eq!(r.job_id, 3);
+        assert_eq!(r.submit_time, 120);
+        assert_eq!(r.wait_time, 30);
+        assert_eq!(r.run_time, 600);
+        assert_eq!(r.requested_procs, 8);
+        assert_eq!(r.requested_time, 900);
+        assert_eq!(r.user_id, 4);
+        assert_eq!(r.think_time, -1);
+    }
+
+    #[test]
+    fn accepts_tabs_and_multiple_spaces() {
+        let line = LINE.replace(' ', "\t  ");
+        let r = parse_record(1, &line).unwrap();
+        assert_eq!(r.run_time, 600);
+    }
+
+    #[test]
+    fn accepts_float_syntax_with_integral_value() {
+        let line = LINE.replace("600", "600.0");
+        let r = parse_record(1, &line).unwrap();
+        assert_eq!(r.run_time, 600);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = parse_record(7, "1 2 3").unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.message.contains("expected 18 fields"));
+        let err = parse_record(8, &format!("{LINE} 99")).unwrap_err();
+        assert!(err.message.contains("extra token"));
+    }
+
+    #[test]
+    fn rejects_garbage_field() {
+        let line = LINE.replace("600", "six-hundred");
+        let err = parse_record(3, &line).unwrap_err();
+        assert!(err.message.contains("not a number"));
+    }
+
+    #[test]
+    fn rejects_negative_job_id() {
+        let line = LINE.replacen('3', "-3", 1);
+        let err = parse_record(1, &line).unwrap_err();
+        assert!(err.message.contains("job id"));
+    }
+
+    #[test]
+    fn parse_log_splits_header_and_records() {
+        let text = format!("; MaxProcs: 64\n\n{LINE}\n; trailing comment\n{LINE}\n");
+        let log = parse_log(&text).unwrap();
+        assert_eq!(log.header.max_procs, Some(64));
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.machine_size(), Some(64));
+    }
+
+    #[test]
+    fn machine_size_inferred_without_header() {
+        let log = parse_log(&format!("{LINE}\n")).unwrap();
+        assert_eq!(log.machine_size(), Some(8));
+    }
+
+    #[test]
+    fn read_log_from_bufread() {
+        let text = format!("; MaxProcs: 16\n{LINE}\n");
+        let log = read_log(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.header.max_procs, Some(16));
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = format!("{LINE}\nbad line here\n");
+        let err = parse_log(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(format!("{err}").contains("line 2"));
+    }
+}

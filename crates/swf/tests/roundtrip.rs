@@ -1,0 +1,101 @@
+//! Property-based round-trip tests for the SWF toolkit.
+
+use proptest::prelude::*;
+
+use predictsim_swf::{clean, parse_log, write_log, CleaningRules, SwfRecord, MISSING};
+
+/// Strategy producing an arbitrary but structurally valid SWF record.
+fn arb_record() -> impl Strategy<Value = SwfRecord> {
+    (
+        0u64..1_000_000,
+        0i64..10_000_000,
+        prop_oneof![Just(MISSING), 0i64..1_000_000],
+        prop_oneof![Just(MISSING), 0i64..1_000_000],
+        prop_oneof![Just(MISSING), 1i64..100_000],
+        prop_oneof![Just(MISSING), 1i64..100_000],
+        prop_oneof![Just(MISSING), 1i64..2_000_000],
+        prop_oneof![Just(MISSING), Just(0i64), Just(1i64), Just(5i64)],
+        prop_oneof![Just(MISSING), 0i64..10_000],
+    )
+        .prop_map(
+            |(job_id, submit, wait, run, alloc, req_procs, req_time, status, user)| SwfRecord {
+                job_id,
+                submit_time: submit,
+                wait_time: wait,
+                run_time: run,
+                allocated_procs: alloc,
+                avg_cpu_time: MISSING,
+                used_memory: MISSING,
+                requested_procs: req_procs,
+                requested_time: req_time,
+                requested_memory: MISSING,
+                status,
+                user_id: user,
+                group_id: MISSING,
+                executable: MISSING,
+                queue: MISSING,
+                partition: MISSING,
+                preceding_job: MISSING,
+                think_time: MISSING,
+            },
+        )
+}
+
+proptest! {
+    /// write ∘ parse = identity on records.
+    #[test]
+    fn records_round_trip(records in prop::collection::vec(arb_record(), 0..50)) {
+        let mut log = predictsim_swf::SwfLog::default();
+        log.records = records.clone();
+        let text = write_log(&log);
+        let reparsed = parse_log(&text).unwrap();
+        prop_assert_eq!(reparsed.records, records);
+    }
+
+    /// Cleaning is idempotent: applying it twice changes nothing further.
+    #[test]
+    fn cleaning_is_idempotent(records in prop::collection::vec(arb_record(), 0..50)) {
+        let mut log = predictsim_swf::SwfLog::default();
+        log.records = records;
+        let rules = CleaningRules::default();
+        clean(&mut log, 1024, rules);
+        let after_first = log.records.clone();
+        let second = clean(&mut log, 1024, rules);
+        prop_assert_eq!(&log.records, &after_first);
+        prop_assert_eq!(second.dropped_unrunnable, 0);
+        prop_assert_eq!(second.dropped_oversize, 0);
+        prop_assert_eq!(second.repaired_estimates, 0);
+        prop_assert_eq!(second.repaired_inversions, 0);
+        prop_assert!(!second.reordered);
+    }
+
+    /// After default cleaning every record is simulatable and consistent:
+    /// positive run time, procs within machine, requested >= run.
+    #[test]
+    fn cleaned_records_are_simulatable(records in prop::collection::vec(arb_record(), 0..50)) {
+        let mut log = predictsim_swf::SwfLog::default();
+        log.records = records;
+        clean(&mut log, 1024, CleaningRules::default());
+        for r in &log.records {
+            prop_assert!(r.is_simulatable());
+            let q = r.effective_procs().unwrap();
+            prop_assert!(q >= 1 && q <= 1024);
+            let run = r.run_time_opt().unwrap();
+            let req = r.requested_time_opt().unwrap();
+            prop_assert!(req >= run, "requested {req} < run {run}");
+        }
+        // Monotone submit order.
+        for w in log.records.windows(2) {
+            prop_assert!(w[0].submit_time <= w[1].submit_time);
+        }
+    }
+
+    /// Parsing never panics on random whitespace-delimited numeric soup.
+    #[test]
+    fn parser_never_panics_on_numeric_lines(
+        nums in prop::collection::vec(-1000i64..1_000_000, 0..25)
+    ) {
+        let line: Vec<String> = nums.iter().map(|n| n.to_string()).collect();
+        let _ = predictsim_swf::reader::parse_record(1, &line.join(" "));
+    }
+}

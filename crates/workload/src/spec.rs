@@ -1,0 +1,180 @@
+//! Workload specifications: the knobs a synthetic log is generated from.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to generate a synthetic workload log.
+///
+/// A spec captures the *shape* of one of the paper's production logs
+/// (Table 4): machine size, job count, trace duration, utilization level,
+/// and the behavioral knobs that create the phenomena the paper's method
+/// exploits (per-user runtime locality, requested-time over-estimation,
+/// day/week cycles, crash noise). Generation itself is deterministic
+/// given a seed — see [`crate::generator::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Display name (e.g. `"KTH-SP2"`).
+    pub name: String,
+    /// Machine size `m`, processors.
+    pub machine_size: u32,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Trace duration in seconds.
+    pub duration: i64,
+    /// Target machine utilization in `(0, 1)` — total work divided by
+    /// `m · duration`. The paper selects logs "for their high resource
+    /// utilization, which challenges scheduling algorithms" (§6.2).
+    pub utilization: f64,
+    /// Number of users submitting jobs.
+    pub users: usize,
+    /// Mean number of jobs per submission session (burst) beyond the
+    /// first; sessions are the unit of temporal runtime locality.
+    pub session_len_mean: f64,
+    /// Probability that a job within a session repeats the previous job's
+    /// class (high values = strong per-user locality, the signal AVE₂ and
+    /// the ML features feed on).
+    pub session_repeat_prob: f64,
+    /// Fraction of jobs that crash early (replaced by a short runtime),
+    /// the noise §4.1 demands robustness against.
+    pub crash_rate: f64,
+    /// Median of the per-user requested-time over-estimation factor
+    /// (users request ~this multiple of the actual running time).
+    pub overestimate_median: f64,
+    /// Spread (lognormal sigma) of the over-estimation factor across
+    /// users.
+    pub overestimate_sigma: f64,
+    /// Probability a user rounds the request up to a modal value
+    /// ("round numbers" behavior of \[23\]).
+    pub modal_round_prob: f64,
+    /// Mean log2 of processor requests (larger machines host wider jobs).
+    pub procs_mean_log2: f64,
+    /// Spread of log2 processor requests.
+    pub procs_sigma_log2: f64,
+    /// Number of distinct job classes ("applications") per user.
+    pub classes_per_user: usize,
+}
+
+impl WorkloadSpec {
+    /// A small, fast default spec used by tests and doc examples: a
+    /// 64-processor machine, 2 000 jobs over two weeks.
+    pub fn toy() -> Self {
+        Self {
+            name: "toy".into(),
+            machine_size: 64,
+            jobs: 2_000,
+            duration: 14 * 86_400,
+            utilization: 0.82,
+            users: 30,
+            session_len_mean: 3.0,
+            session_repeat_prob: 0.85,
+            crash_rate: 0.10,
+            overestimate_median: 3.0,
+            overestimate_sigma: 0.7,
+            modal_round_prob: 0.8,
+            procs_mean_log2: 2.0,
+            procs_sigma_log2: 1.3,
+            classes_per_user: 3,
+        }
+    }
+
+    /// Scales the job count and duration by `factor` (keeping the arrival
+    /// rate, machine and utilization unchanged), for fast test/bench
+    /// variants of the full Table 4 presets.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut s = self.clone();
+        s.jobs = ((self.jobs as f64 * factor).round() as usize).max(50);
+        s.duration = ((self.duration as f64 * factor) as i64).max(86_400);
+        s.name = format!("{}@{factor}", self.name);
+        s
+    }
+
+    /// Sanity checks on the knob ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machine_size == 0 {
+            return Err("machine_size must be positive".into());
+        }
+        if self.jobs == 0 {
+            return Err("jobs must be positive".into());
+        }
+        if self.duration <= 0 {
+            return Err("duration must be positive".into());
+        }
+        if !(0.0 < self.utilization && self.utilization < 1.5) {
+            return Err(format!("utilization {} out of range", self.utilization));
+        }
+        if self.users == 0 {
+            return Err("need at least one user".into());
+        }
+        if !(0.0..=1.0).contains(&self.crash_rate) {
+            return Err("crash_rate must be a probability".into());
+        }
+        if !(0.0..=1.0).contains(&self.modal_round_prob) {
+            return Err("modal_round_prob must be a probability".into());
+        }
+        if !(0.0..=1.0).contains(&self.session_repeat_prob) {
+            return Err("session_repeat_prob must be a probability".into());
+        }
+        if self.overestimate_median < 1.0 {
+            return Err("overestimate_median below 1 would invert estimates".into());
+        }
+        if self.classes_per_user == 0 {
+            return Err("need at least one class per user".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_is_valid() {
+        assert!(WorkloadSpec::toy().validate().is_ok());
+    }
+
+    #[test]
+    fn scaling_shrinks_jobs_and_duration() {
+        let toy = WorkloadSpec::toy();
+        let s = toy.scaled(0.5);
+        assert_eq!(s.jobs, 1000);
+        assert_eq!(s.duration, 7 * 86_400);
+        assert_eq!(s.machine_size, toy.machine_size);
+        assert!(s.name.contains("toy@"));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn scaling_has_floors() {
+        let s = WorkloadSpec::toy().scaled(0.0001);
+        assert!(s.jobs >= 50);
+        assert!(s.duration >= 86_400);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = WorkloadSpec::toy();
+        s.machine_size = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = WorkloadSpec::toy();
+        s.utilization = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = WorkloadSpec::toy();
+        s.crash_rate = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = WorkloadSpec::toy();
+        s.overestimate_median = 0.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = WorkloadSpec::toy();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

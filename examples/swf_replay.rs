@@ -1,0 +1,77 @@
+//! Replay a Standard Workload Format (SWF) log through the simulator.
+//!
+//! This is the workflow for evaluating the paper's method on *real*
+//! production traces from the Parallel Workloads Archive:
+//!
+//! ```text
+//! cargo run --release --example swf_replay -- path/to/LOG.swf
+//! ```
+//!
+//! Without an argument, the example writes a synthetic SWF file to a
+//! temporary directory first and replays that — demonstrating the full
+//! round trip (generate → write SWF → parse → clean → simulate).
+
+use std::path::PathBuf;
+
+use predictsim::prelude::*;
+use predictsim::swf::{clean, parse_log, write_log, CleaningRules};
+
+fn main() {
+    let path = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+        // No log supplied: fabricate one so the example is self-contained.
+        let spec = WorkloadSpec::toy();
+        let workload = generate(&spec, 7);
+        let text = write_log(&workload.to_swf());
+        let path = std::env::temp_dir().join("predictsim_quickstart.swf");
+        std::fs::write(&path, text).expect("write temporary SWF");
+        println!("no log given; wrote synthetic log to {}", path.display());
+        path
+    });
+
+    // 1. Parse.
+    let text = std::fs::read_to_string(&path).expect("read SWF file");
+    let mut log = parse_log(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+    let machine_size = log
+        .machine_size()
+        .expect("log has no MaxProcs header and no jobs to infer it from");
+    println!(
+        "parsed {}: {} records, MaxProcs {}",
+        path.display(),
+        log.records.len(),
+        machine_size
+    );
+
+    // 2. Clean, reporting what the cleaning conventions dropped/repaired
+    //    (silent cleaning is a reproducibility hazard — Frachtenberg &
+    //    Feitelson [6]).
+    let report = clean(&mut log, machine_size, CleaningRules::default());
+    println!(
+        "cleaned: kept {} | dropped {} unrunnable, {} oversize | repaired {} estimates, {} inversions",
+        report.kept,
+        report.dropped_unrunnable,
+        report.dropped_oversize,
+        report.repaired_estimates,
+        report.repaired_inversions,
+    );
+
+    // 3. Convert and simulate under three schedulers.
+    let jobs = predictsim::sim::jobs_from_swf(&log.records).expect("convert records");
+    let cfg = SimConfig { machine_size: machine_size as u32 };
+
+    for triple in [
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+    ] {
+        let res = triple.run(&jobs, cfg).expect("simulation failed");
+        // Re-verify the schedule invariants independently of the engine.
+        predictsim::sim::audit(&res).expect("schedule audit failed");
+        println!(
+            "{:<46} AVEbsld {:>8.2}   utilization {:>5.1}%   makespan {}",
+            triple.name(),
+            res.ave_bsld(),
+            100.0 * res.utilization(),
+            predictsim::sim::time::format_duration(res.makespan()),
+        );
+    }
+}

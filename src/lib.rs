@@ -1,0 +1,94 @@
+//! # predictsim
+//!
+//! A production-quality Rust reproduction of **Gaussier, Glesser, Reis &
+//! Trystram, *"Improving Backfilling by using Machine Learning to predict
+//! Running Times"*, SuperComputing 2015** — on-line machine-learned
+//! running-time prediction integrated into EASY backfilling, evaluated by
+//! full scheduling simulation.
+//!
+//! This crate is the façade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `predictsim-core` | the paper's contribution: Table 2 features, Eq. 1 polynomial model, the §4.2 asymmetric weighted loss family, NAG training, §5.2 corrections |
+//! | [`sim`] | `predictsim-sim` | event-driven batch simulator, EASY / EASY-SJBF / FCFS / conservative schedulers, prediction + correction interfaces, audit |
+//! | [`swf`] | `predictsim-swf` | Standard Workload Format parsing, writing, cleaning |
+//! | [`workload`] | `predictsim-workload` | synthetic stand-ins for the six Table 4 logs |
+//! | [`metrics`] | `predictsim-metrics` | bounded slowdown, ECDF, Pearson, MAE |
+//! | [`experiments`] | `predictsim-experiments` | the §6 campaign: 128 heuristic triples/log, cross-validation, every table and figure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use predictsim::prelude::*;
+//!
+//! // 1. A workload: synthetic here; parse a real SWF log with
+//! //    `predictsim::swf` for production traces.
+//! let workload = generate(&WorkloadSpec::toy(), 42);
+//!
+//! // 2. Standard EASY (user-requested times) ...
+//! let easy = HeuristicTriple::standard_easy()
+//!     .run(&workload.jobs, workload.sim_config())
+//!     .unwrap();
+//!
+//! // 3. ... versus the paper's prediction-augmented scheduler:
+//! //    E-Loss-trained NAG regression + incremental correction + SJBF.
+//! let ml = HeuristicTriple::paper_winner()
+//!     .run(&workload.jobs, workload.sim_config())
+//!     .unwrap();
+//!
+//! println!("EASY AVEbsld = {:.1}", easy.ave_bsld());
+//! println!("ML   AVEbsld = {:.1}", ml.ave_bsld());
+//! assert_eq!(easy.outcomes.len(), workload.jobs.len());
+//! assert_eq!(ml.outcomes.len(), workload.jobs.len());
+//! ```
+//!
+//! ## Reproducing the paper
+//!
+//! ```text
+//! cargo run --release -p predictsim-experiments --bin repro -- all
+//! ```
+//!
+//! regenerates Tables 1, 6, 7, 8 and Figures 3, 4, 5 (see EXPERIMENTS.md
+//! for the recorded paper-vs-measured comparison), and `cargo bench`
+//! runs the Criterion harness over the same experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use predictsim_core as core;
+pub use predictsim_experiments as experiments;
+pub use predictsim_metrics as metrics;
+pub use predictsim_sim as sim;
+pub use predictsim_swf as swf;
+pub use predictsim_workload as workload;
+
+/// The most common imports, for examples and quick scripts.
+pub mod prelude {
+    pub use predictsim_core::correction::{
+        IncrementalCorrection, RecursiveDoublingCorrection, RequestedTimeCorrection,
+    };
+    pub use predictsim_core::predictor::{Ave2Predictor, MlConfig, MlPredictor};
+    pub use predictsim_core::{AsymmetricLoss, WeightingScheme};
+    pub use predictsim_experiments::{
+        campaign_triples, cross_validate, run_campaign, ExperimentSetup, HeuristicTriple,
+        PredictionTechnique, Variant,
+    };
+    pub use predictsim_metrics::{ave_bsld, bounded_slowdown, Ecdf, DEFAULT_TAU};
+    pub use predictsim_sim::{
+        simulate, ClairvoyantPredictor, EasyScheduler, FcfsScheduler, Job, JobId,
+        RequestedTimePredictor, SimConfig, Time,
+    };
+    pub use predictsim_workload::{generate, GeneratedWorkload, WorkloadSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let spec = WorkloadSpec::toy();
+        assert_eq!(spec.machine_size, 64);
+        assert_eq!(DEFAULT_TAU, 10.0);
+    }
+}

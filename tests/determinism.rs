@@ -1,0 +1,66 @@
+//! Cross-crate determinism guarantees: identical seeds and inputs must
+//! produce bit-identical workloads, simulations, and campaign artifacts —
+//! the property that makes every number in EXPERIMENTS.md reproducible.
+
+use predictsim::prelude::*;
+
+#[test]
+fn workload_generation_is_reproducible_across_calls() {
+    let spec = WorkloadSpec::toy();
+    let a = generate(&spec, 777);
+    let b = generate(&spec, 777);
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn learning_simulation_is_reproducible() {
+    let mut spec = WorkloadSpec::toy();
+    spec.jobs = 300;
+    spec.duration = 3 * 86_400;
+    let w = generate(&spec, 88);
+    let run = || {
+        HeuristicTriple::paper_winner()
+            .run(&w.jobs, w.sim_config())
+            .expect("simulation")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.ave_bsld(), b.ave_bsld());
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    let spec = WorkloadSpec::toy();
+    let a = generate(&spec, 1);
+    let b = generate(&spec, 2);
+    assert_ne!(a.jobs, b.jobs);
+}
+
+#[test]
+fn parallel_campaign_equals_itself() {
+    let mut spec = WorkloadSpec::toy();
+    spec.jobs = 200;
+    spec.duration = 2 * 86_400;
+    let w = generate(&spec, 9);
+    let triples = vec![
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+    ];
+    let a = run_campaign(&w, &triples);
+    let b = run_campaign(&w, &triples);
+    assert_eq!(a, b, "rayon parallelism must not leak into results");
+}
+
+#[test]
+fn experiment_setup_is_the_single_source_of_workloads() {
+    let setup = ExperimentSetup { scale: 0.002, seed: 5 };
+    let a = setup.workloads();
+    let b = setup.workloads();
+    assert_eq!(a.len(), 6);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.jobs, y.jobs, "{}", x.name);
+    }
+}
