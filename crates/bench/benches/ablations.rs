@@ -11,15 +11,27 @@ use predictsim_experiments::ablation::{
 use predictsim_experiments::ExperimentSetup;
 
 fn bench(c: &mut Criterion) {
-    let w = ExperimentSetup { scale: predictsim_bench::PRINT_SCALE, ..ExperimentSetup::quick() }
-        .workload("kth")
-        .expect("KTH preset");
+    let w = ExperimentSetup {
+        scale: predictsim_bench::PRINT_SCALE,
+        ..ExperimentSetup::quick()
+    }
+    .workload("kth")
+    .expect("KTH preset");
     eprintln!("\n=== Ablations on {} ===", w.name);
-    eprintln!("{}", render_ablation("Scheduler (clairvoyant)", &ablate_scheduler(&w)));
-    eprintln!("{}", render_ablation("Correction mechanism", &ablate_correction(&w)));
+    eprintln!(
+        "{}",
+        render_ablation("Scheduler (clairvoyant)", &ablate_scheduler(&w))
+    );
+    eprintln!(
+        "{}",
+        render_ablation("Correction mechanism", &ablate_correction(&w))
+    );
     eprintln!("{}", render_ablation("Optimizer", &ablate_optimizer(&w)));
     eprintln!("{}", render_ablation("Basis degree", &ablate_basis(&w)));
-    eprintln!("{}", render_ablation("Loss shape x weighting", &ablate_loss(&w)));
+    eprintln!(
+        "{}",
+        render_ablation("Loss shape x weighting", &ablate_loss(&w))
+    );
 
     let small = measure_workload();
     let mut g = c.benchmark_group("ablations");

@@ -7,9 +7,12 @@ use predictsim_experiments::figures::{fig4_fig5, render_ecdf_series};
 use predictsim_experiments::ExperimentSetup;
 
 fn bench(c: &mut Criterion) {
-    let curie = ExperimentSetup { scale: predictsim_bench::PRINT_SCALE, ..ExperimentSetup::quick() }
-        .workload("curie")
-        .expect("Curie preset");
+    let curie = ExperimentSetup {
+        scale: predictsim_bench::PRINT_SCALE,
+        ..ExperimentSetup::quick()
+    }
+    .workload("curie")
+    .expect("Curie preset");
     let fig = fig4_fig5(&curie, 97);
     eprintln!(
         "\n=== Figure 4 on {} (error quantiles, hours) ===\n{}",

@@ -10,16 +10,24 @@ use predictsim_sim::SimConfig;
 
 fn bench(c: &mut Criterion) {
     let rows = table1(&print_workloads());
-    eprintln!("\n=== Table 1 (scale {}) ===\n{}", predictsim_bench::PRINT_SCALE, render_table1(&rows));
+    eprintln!(
+        "\n=== Table 1 (scale {}) ===\n{}",
+        predictsim_bench::PRINT_SCALE,
+        render_table1(&rows)
+    );
 
     let w = measure_workload();
-    let cfg = SimConfig { machine_size: w.machine_size };
+    let cfg = SimConfig {
+        machine_size: w.machine_size,
+    };
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function("easy_vs_clairvoyant", |b| {
         b.iter(|| {
             let easy = HeuristicTriple::standard_easy().run(&w.jobs, cfg).unwrap();
-            let clair = HeuristicTriple::clairvoyant(Variant::Easy).run(&w.jobs, cfg).unwrap();
+            let clair = HeuristicTriple::clairvoyant(Variant::Easy)
+                .run(&w.jobs, cfg)
+                .unwrap();
             std::hint::black_box((easy.ave_bsld(), clair.ave_bsld()))
         })
     });

@@ -7,9 +7,12 @@ use predictsim_experiments::tables::{render_table8, table8};
 use predictsim_experiments::ExperimentSetup;
 
 fn bench(c: &mut Criterion) {
-    let curie = ExperimentSetup { scale: predictsim_bench::PRINT_SCALE, ..ExperimentSetup::quick() }
-        .workload("curie")
-        .expect("Curie preset");
+    let curie = ExperimentSetup {
+        scale: predictsim_bench::PRINT_SCALE,
+        ..ExperimentSetup::quick()
+    }
+    .workload("curie")
+    .expect("Curie preset");
     eprintln!(
         "\n=== Table 8 on {} ===\n{}",
         curie.name,

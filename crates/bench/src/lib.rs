@@ -29,19 +29,29 @@ pub const MEASURE_SCALE: f64 = 0.005;
 
 /// Workloads for the printed reproduction (all six logs).
 pub fn print_workloads() -> Vec<GeneratedWorkload> {
-    ExperimentSetup { scale: PRINT_SCALE, ..ExperimentSetup::quick() }.workloads()
+    ExperimentSetup {
+        scale: PRINT_SCALE,
+        ..ExperimentSetup::quick()
+    }
+    .workloads()
 }
 
 /// A single small workload for the measured iterations.
 pub fn measure_workload() -> GeneratedWorkload {
-    ExperimentSetup { scale: MEASURE_SCALE, ..ExperimentSetup::quick() }
-        .workload("kth")
-        .expect("KTH preset exists")
+    ExperimentSetup {
+        scale: MEASURE_SCALE,
+        ..ExperimentSetup::quick()
+    }
+    .workload("kth")
+    .expect("KTH preset exists")
 }
 
 /// Two small workloads (for cross-log experiments).
 pub fn measure_workload_pair() -> Vec<GeneratedWorkload> {
-    let setup = ExperimentSetup { scale: MEASURE_SCALE, ..ExperimentSetup::quick() };
+    let setup = ExperimentSetup {
+        scale: MEASURE_SCALE,
+        ..ExperimentSetup::quick()
+    };
     vec![
         setup.workload("kth").expect("KTH preset"),
         setup.workload("sdsc-sp2").expect("SDSC-SP2 preset"),

@@ -51,7 +51,9 @@ pub struct IncrementalCorrection {
 
 impl Default for IncrementalCorrection {
     fn default() -> Self {
-        Self { increments: TSAFRIR_INCREMENTS.to_vec() }
+        Self {
+            increments: TSAFRIR_INCREMENTS.to_vec(),
+        }
     }
 }
 
@@ -64,7 +66,10 @@ impl IncrementalCorrection {
     /// A custom increment list (must be non-empty); used by ablations.
     pub fn with_increments(increments: Vec<i64>) -> Self {
         assert!(!increments.is_empty(), "increment list cannot be empty");
-        assert!(increments.iter().all(|&i| i > 0), "increments must be positive");
+        assert!(
+            increments.iter().all(|&i| i > 0),
+            "increments must be positive"
+        );
         Self { increments }
     }
 }
@@ -186,6 +191,9 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(IncrementalCorrection::new().name(), "incremental");
-        assert_eq!(RecursiveDoublingCorrection::new().name(), "recursive-doubling");
+        assert_eq!(
+            RecursiveDoublingCorrection::new().name(),
+            "recursive-doubling"
+        );
     }
 }

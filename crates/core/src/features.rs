@@ -23,26 +23,26 @@ pub const N_FEATURES: usize = 20;
 /// Human-readable names of the features, index-aligned with
 /// [`FeatureExtractor::extract`]'s output. Useful for model inspection.
 pub const FEATURE_NAMES: [&str; N_FEATURES] = [
-    "requested_time",          // p̃_j
-    "last_run_1",              // p_(j-1) of same user
-    "last_run_2",              // p_(j-2)
-    "last_run_3",              // p_(j-3)
-    "ave2_run",                // AVE_2 of last two recorded runs
-    "ave3_run",                // AVE_3 of last three recorded runs
-    "ave_all_run",             // AVE_all over the user's history
-    "requested_procs",         // q_j
-    "ave_hist_procs",          // AVE_hist of past resource requests
-    "procs_over_ave_hist",     // q_j normalized by AVE_hist
-    "ave_running_procs",       // AVE_curr over currently running jobs
-    "jobs_running",            // count of the user's running jobs
-    "longest_running",         // longest elapsed among them
-    "sum_running",             // sum of elapsed times among them
-    "occupied_resources",      // procs currently held by the user
-    "break_time",              // time since the user's last completion
-    "cos_day",                 // cos(2π (r_j mod t_day)/t_day)
-    "sin_day",                 // sin of the same phase
-    "cos_week",                // cos(2π (r_j mod t_week)/t_week)
-    "sin_week",                // sin of the same phase
+    "requested_time",      // p̃_j
+    "last_run_1",          // p_(j-1) of same user
+    "last_run_2",          // p_(j-2)
+    "last_run_3",          // p_(j-3)
+    "ave2_run",            // AVE_2 of last two recorded runs
+    "ave3_run",            // AVE_3 of last three recorded runs
+    "ave_all_run",         // AVE_all over the user's history
+    "requested_procs",     // q_j
+    "ave_hist_procs",      // AVE_hist of past resource requests
+    "procs_over_ave_hist", // q_j normalized by AVE_hist
+    "ave_running_procs",   // AVE_curr over currently running jobs
+    "jobs_running",        // count of the user's running jobs
+    "longest_running",     // longest elapsed among them
+    "sum_running",         // sum of elapsed times among them
+    "occupied_resources",  // procs currently held by the user
+    "break_time",          // time since the user's last completion
+    "cos_day",             // cos(2π (r_j mod t_day)/t_day)
+    "sin_day",             // sin of the same phase
+    "cos_week",            // cos(2π (r_j mod t_week)/t_week)
+    "sin_week",            // sin of the same phase
 ];
 
 /// Per-user running history, updated on submissions and completions.
@@ -141,7 +141,11 @@ impl FeatureExtractor {
         // spurious zero.
         let q = job.procs as f64;
         let ave_hist_q = hist.and_then(|h| h.ave_procs()).unwrap_or(q);
-        let q_ratio = if ave_hist_q > 0.0 { q / ave_hist_q } else { 1.0 };
+        let q_ratio = if ave_hist_q > 0.0 {
+            q / ave_hist_q
+        } else {
+            1.0
+        };
 
         // Current-state features over the user's running jobs.
         let mut n_running = 0.0;
@@ -157,7 +161,11 @@ impl FeatureExtractor {
             sum_elapsed += elapsed;
             occupied += r.procs as f64;
         }
-        let ave_curr_q = if n_running > 0.0 { sum_q_running / n_running } else { 0.0 };
+        let ave_curr_q = if n_running > 0.0 {
+            sum_q_running / n_running
+        } else {
+            0.0
+        };
 
         // Break time: elapsed since the user's last job completion.
         let break_time = hist
@@ -196,7 +204,10 @@ impl FeatureExtractor {
     /// Records that `job` was submitted (updates the resource-request
     /// history). Call after [`FeatureExtractor::extract`].
     pub fn record_submit(&mut self, job: &Job) {
-        self.users.entry(job.user).or_default().record_submit(job.procs);
+        self.users
+            .entry(job.user)
+            .or_default()
+            .record_submit(job.procs);
     }
 
     /// Records a completion of `job` with granted running time
@@ -242,7 +253,11 @@ mod tests {
     }
 
     fn view(now: i64, running: &[RunningJob]) -> SystemView<'_> {
-        SystemView { now: Time(now), machine_size: 64, running }
+        SystemView {
+            now: Time(now),
+            machine_size: 64,
+            running,
+        }
     }
 
     fn running(user: u32, procs: u32, start: i64) -> RunningJob {
@@ -328,11 +343,18 @@ mod tests {
         let fx = FeatureExtractor::new();
         let f0 = fx.extract(&job(1, 1, 100, 0), &view(0, &[]));
         let f1 = fx.extract(&job(1, 1, 100, DAY), &view(DAY, &[]));
-        assert!((f0[16] - f1[16]).abs() < 1e-9, "cos_day must be day-periodic");
+        assert!(
+            (f0[16] - f1[16]).abs() < 1e-9,
+            "cos_day must be day-periodic"
+        );
         assert!((f0[17] - f1[17]).abs() < 1e-9);
         // Midday is the opposite phase of midnight.
         let fm = fx.extract(&job(1, 1, 100, DAY / 2), &view(DAY / 2, &[]));
-        assert!((fm[16] + 1.0).abs() < 1e-9, "cos at half day ≈ -1, got {}", fm[16]);
+        assert!(
+            (fm[16] + 1.0).abs() < 1e-9,
+            "cos at half day ≈ -1, got {}",
+            fm[16]
+        );
     }
 
     #[test]

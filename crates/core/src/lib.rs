@@ -28,8 +28,8 @@
 //! The winning *heuristic triple* of §6.3.3 is
 //! [`predictor::MlPredictor::e_loss`] (E-Loss: squared over-prediction
 //! branch, linear under-prediction branch, large-area weight `log(q·p)`)
-//! + [`correction::IncrementalCorrection`] + EASY-SJBF (in
-//! `predictsim-sim`).
+//! combined with [`correction::IncrementalCorrection`] and EASY-SJBF
+//! (in `predictsim-sim`).
 //!
 //! ## Quick example
 //!
@@ -83,9 +83,7 @@ pub mod predictor;
 pub mod weighting;
 
 pub use basis::{Basis, LinearBasis, PolynomialBasis};
-pub use correction::{
-    IncrementalCorrection, RecursiveDoublingCorrection, RequestedTimeCorrection,
-};
+pub use correction::{IncrementalCorrection, RecursiveDoublingCorrection, RequestedTimeCorrection};
 pub use eloss::{eloss, mae_of_outcomes, mean_eloss, mean_eloss_of_outcomes};
 pub use features::{FeatureExtractor, FEATURE_NAMES, N_FEATURES};
 pub use loss::{loss_shapes, AsymmetricLoss, BasisLoss};

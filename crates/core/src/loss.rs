@@ -40,7 +40,10 @@ impl BasisLoss {
     /// asserting, so diagnostics can observe the divergence.)
     #[inline]
     pub fn value(self, z: f64) -> f64 {
-        debug_assert!(!(z < 0.0), "basis losses are defined on magnitudes");
+        debug_assert!(
+            z.partial_cmp(&0.0) != Some(std::cmp::Ordering::Less),
+            "basis losses are defined on magnitudes"
+        );
         match self {
             BasisLoss::Linear => z,
             BasisLoss::Squared => z * z,
@@ -80,14 +83,18 @@ pub struct AsymmetricLoss {
 impl AsymmetricLoss {
     /// The symmetric squared loss — with γ ≡ 1 this is plain on-line
     /// least squares (§4.2's closing remark).
-    pub const SQUARED: AsymmetricLoss =
-        AsymmetricLoss { under: BasisLoss::Squared, over: BasisLoss::Squared };
+    pub const SQUARED: AsymmetricLoss = AsymmetricLoss {
+        under: BasisLoss::Squared,
+        over: BasisLoss::Squared,
+    };
 
     /// The E-Loss shape (Eq. 3): squared over-prediction branch, linear
     /// under-prediction branch. Combined with the large-area weight it is
     /// the loss of the winning heuristic triple (§6.3.3).
-    pub const E_LOSS: AsymmetricLoss =
-        AsymmetricLoss { under: BasisLoss::Linear, over: BasisLoss::Squared };
+    pub const E_LOSS: AsymmetricLoss = AsymmetricLoss {
+        under: BasisLoss::Linear,
+        over: BasisLoss::Squared,
+    };
 
     /// Loss of predicting `f` when the actual running time is `p`, with
     /// weight `gamma`.
@@ -123,10 +130,22 @@ impl AsymmetricLoss {
 /// The four basis-loss combinations of Table 5.
 pub fn loss_shapes() -> [AsymmetricLoss; 4] {
     [
-        AsymmetricLoss { under: BasisLoss::Linear, over: BasisLoss::Linear },
-        AsymmetricLoss { under: BasisLoss::Linear, over: BasisLoss::Squared },
-        AsymmetricLoss { under: BasisLoss::Squared, over: BasisLoss::Linear },
-        AsymmetricLoss { under: BasisLoss::Squared, over: BasisLoss::Squared },
+        AsymmetricLoss {
+            under: BasisLoss::Linear,
+            over: BasisLoss::Linear,
+        },
+        AsymmetricLoss {
+            under: BasisLoss::Linear,
+            over: BasisLoss::Squared,
+        },
+        AsymmetricLoss {
+            under: BasisLoss::Squared,
+            over: BasisLoss::Linear,
+        },
+        AsymmetricLoss {
+            under: BasisLoss::Squared,
+            over: BasisLoss::Squared,
+        },
     ]
 }
 
@@ -146,7 +165,10 @@ mod tests {
     fn figure1_example() {
         // Figure 1: γ=1, Lu(z)=z², Lo(z)=z. At error −1 (under-prediction)
         // the loss is 1; at error +1 (over-prediction) the loss is 1.
-        let l = AsymmetricLoss { under: BasisLoss::Squared, over: BasisLoss::Linear };
+        let l = AsymmetricLoss {
+            under: BasisLoss::Squared,
+            over: BasisLoss::Linear,
+        };
         assert_eq!(l.value(0.0, 1.0, 1.0), 1.0); // f−p = −1
         assert_eq!(l.value(2.0, 1.0, 1.0), 1.0); // f−p = +1
         assert_eq!(l.value(1.0, 1.0, 1.0), 0.0);
@@ -175,8 +197,14 @@ mod tests {
     #[test]
     fn derivative_signs() {
         let l = AsymmetricLoss::E_LOSS;
-        assert!(l.dvalue_df(10.0, 5.0, 1.0) > 0.0, "over-prediction pushes f down");
-        assert!(l.dvalue_df(2.0, 5.0, 1.0) < 0.0, "under-prediction pushes f up");
+        assert!(
+            l.dvalue_df(10.0, 5.0, 1.0) > 0.0,
+            "over-prediction pushes f down"
+        );
+        assert!(
+            l.dvalue_df(2.0, 5.0, 1.0) < 0.0,
+            "under-prediction pushes f up"
+        );
         assert_eq!(l.dvalue_df(5.0, 5.0, 1.0), 0.0);
     }
 
@@ -185,8 +213,7 @@ mod tests {
         let h = 1e-6;
         for loss in loss_shapes() {
             for &(f, p) in &[(10.0, 3.0), (3.0, 10.0), (100.0, 99.0), (0.5, 2.5)] {
-                let numeric =
-                    (loss.value(f + h, p, 2.0) - loss.value(f - h, p, 2.0)) / (2.0 * h);
+                let numeric = (loss.value(f + h, p, 2.0) - loss.value(f - h, p, 2.0)) / (2.0 * h);
                 let analytic = loss.dvalue_df(f, p, 2.0);
                 assert!(
                     (numeric - analytic).abs() < 1e-4,

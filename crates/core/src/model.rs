@@ -147,7 +147,11 @@ impl OnlineRegression {
             .step_bounded(&mut self.weights, &self.phi, dloss, self.l2, max_df);
         self.examples += 1;
         self.cumulative_loss += loss;
-        LearnRecord { prediction: f_real, loss, gamma }
+        LearnRecord {
+            prediction: f_real,
+            loss,
+            gamma,
+        }
     }
 
     /// Number of learning steps taken.
@@ -287,7 +291,10 @@ mod tests {
     /// model upward.
     #[test]
     fn reverse_asymmetry_biases_upward() {
-        let loss = AsymmetricLoss { under: BasisLoss::Squared, over: BasisLoss::Linear };
+        let loss = AsymmetricLoss {
+            under: BasisLoss::Squared,
+            over: BasisLoss::Linear,
+        };
         let mut m = OnlineRegression::new(1, loss, WeightingScheme::Constant);
         let mut preds = Vec::new();
         for i in 0..4000 {
@@ -304,8 +311,7 @@ mod tests {
 
     #[test]
     fn weighting_is_applied() {
-        let mut m =
-            OnlineRegression::new(1, AsymmetricLoss::SQUARED, WeightingScheme::LargeArea);
+        let mut m = OnlineRegression::new(1, AsymmetricLoss::SQUARED, WeightingScheme::LargeArea);
         let rec = m.learn(&[1.0], 1000.0, 64.0);
         let expected_gamma = WeightingScheme::LargeArea.gamma(1000.0, 64.0);
         assert!((rec.gamma - expected_gamma).abs() < 1e-12);

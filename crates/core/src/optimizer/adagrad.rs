@@ -22,7 +22,10 @@ impl AdaGradOptimizer {
     /// AdaGrad over `dim` weights with base learning rate `eta`.
     pub fn new(dim: usize, eta: f64) -> Self {
         assert!(eta > 0.0, "learning rate must be positive");
-        Self { eta, g2: vec![0.0; dim] }
+        Self {
+            eta,
+            g2: vec![0.0; dim],
+        }
     }
 }
 

@@ -44,7 +44,13 @@ impl NagOptimizer {
     /// NAG over `dim` weights with learning rate `eta`.
     pub fn new(dim: usize, eta: f64) -> Self {
         assert!(eta > 0.0, "learning rate must be positive");
-        Self { eta, scale: vec![0.0; dim], g2: vec![0.0; dim], n_acc: 0.0, t: 0 }
+        Self {
+            eta,
+            scale: vec![0.0; dim],
+            g2: vec![0.0; dim],
+            n_acc: 0.0,
+            t: 0,
+        }
     }
 
     /// The per-coordinate scales learned so far (for inspection).
@@ -81,9 +87,9 @@ impl OnlineOptimizer for NagOptimizer {
         self.t += 1;
         // Global normalizer: squared feature magnitudes in scale units.
         let mut contrib = 0.0;
-        for i in 0..phi.len() {
-            if self.scale[i] > 0.0 {
-                let r = phi[i] / self.scale[i];
+        for (&p, &s) in phi.iter().zip(&self.scale) {
+            if s > 0.0 {
+                let r = p / s;
                 contrib += r * r;
             }
         }
@@ -137,7 +143,7 @@ mod tests {
         opt.prepare(&mut w, &[1.0]); // establish scale 1
         assert_eq!(w[0], 4.0);
         opt.prepare(&mut w, &[10.0]); // scale grows 10x
-        // w shrinks by (1/10)² so w·φ stays comparable: 4*100 -> 0.04*... .
+                                      // w shrinks by (1/10)² so w·φ stays comparable: 4*100 -> 0.04*... .
         assert!((w[0] - 0.04).abs() < 1e-12, "got {}", w[0]);
         assert_eq!(opt.scales(), &[10.0]);
     }

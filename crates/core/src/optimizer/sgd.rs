@@ -77,7 +77,11 @@ mod tests {
         let first = w1[0];
         let mut w2 = vec![0.0];
         opt.step(&mut w2, &[1.0], -1.0, 0.0);
-        assert!(w2[0] < first, "second step must be smaller: {} vs {first}", w2[0]);
+        assert!(
+            w2[0] < first,
+            "second step must be smaller: {} vs {first}",
+            w2[0]
+        );
     }
 
     #[test]

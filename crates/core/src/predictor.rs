@@ -49,7 +49,8 @@ impl RuntimePredictor for Ave2Predictor {
     }
 
     fn observe(&mut self, job: &Job, actual_run: i64, system: &SystemView<'_>) {
-        self.extractor.record_completion(job, actual_run, system.now.0);
+        self.extractor
+            .record_completion(job, actual_run, system.now.0);
     }
 
     fn name(&self) -> String {
@@ -193,7 +194,10 @@ impl MlPredictor {
     /// regression problem, learned in an on-line manner", §4.2) — the
     /// comparison curve of Figures 4 and 5.
     pub fn squared_loss() -> Self {
-        Self::new(MlConfig::new(AsymmetricLoss::SQUARED, WeightingScheme::Constant))
+        Self::new(MlConfig::new(
+            AsymmetricLoss::SQUARED,
+            WeightingScheme::Constant,
+        ))
     }
 
     /// The configuration this predictor was built from.
@@ -263,7 +267,11 @@ mod tests {
     }
 
     fn view(now: i64) -> SystemView<'static> {
-        SystemView { now: Time(now), machine_size: 64, running: &[] }
+        SystemView {
+            now: Time(now),
+            machine_size: 64,
+            running: &[],
+        }
     }
 
     #[test]
@@ -296,8 +304,7 @@ mod tests {
     fn grid_has_20_configs_with_unique_names() {
         let grid = ml_grid();
         assert_eq!(grid.len(), 20);
-        let names: std::collections::HashSet<String> =
-            grid.iter().map(|c| c.name()).collect();
+        let names: std::collections::HashSet<String> = grid.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 20);
     }
 
@@ -339,7 +346,7 @@ mod tests {
         let mut p = MlPredictor::e_loss();
         let j = job(0, 1, 100, 1000);
         p.predict(&j, &view(0));
-        assert_eq!(format!("{p:?}").contains("pending: 1"), true);
+        assert!(format!("{p:?}").contains("pending: 1"));
         p.observe(&j, 100, &view(200));
         assert_eq!(p.examples(), 1);
     }

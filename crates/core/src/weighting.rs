@@ -122,7 +122,7 @@ mod tests {
         for scheme in WeightingScheme::ALL {
             for &(p, q) in &[
                 (1.0, 1.0),
-                (0.0, 0.0),            // degenerate inputs are clamped
+                (0.0, 0.0), // degenerate inputs are clamped
                 (1e7, 1e5),
                 (1.0, 100_000.0),
                 (1_000_000.0, 1.0),
@@ -140,7 +140,10 @@ mod tests {
         // running times / requests (minutes–days, 1–10k procs).
         for scheme in WeightingScheme::ALL {
             for &(p, q) in &[(600.0, 16.0), (3600.0, 128.0), (86_400.0, 1024.0)] {
-                assert!(scheme.gamma(p, q) > MIN_GAMMA, "{scheme:?} clamped at ({p},{q})");
+                assert!(
+                    scheme.gamma(p, q) > MIN_GAMMA,
+                    "{scheme:?} clamped at ({p},{q})"
+                );
             }
         }
     }

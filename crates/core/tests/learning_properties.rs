@@ -22,8 +22,7 @@ fn prediction_trace(
     eta: f64,
 ) -> Vec<f64> {
     let basis = Basis::polynomial(3);
-    let optimizer: Box<dyn OnlineOptimizer> =
-        Box::new(NagOptimizer::new(basis.output_dim(), eta));
+    let optimizer: Box<dyn OnlineOptimizer> = Box::new(NagOptimizer::new(basis.output_dim(), eta));
     let mut model = OnlineRegression::with_parts(
         basis,
         optimizer,

@@ -32,13 +32,19 @@ fn run_rows(
     workload: &GeneratedWorkload,
     runs: Vec<(String, HeuristicTriple)>,
 ) -> Vec<AblationRow> {
-    let cfg = SimConfig { machine_size: workload.machine_size };
+    let cfg = SimConfig {
+        machine_size: workload.machine_size,
+    };
     runs.into_par_iter()
         .map(|(label, triple)| {
             let sim = triple
                 .run(&workload.jobs, cfg)
                 .unwrap_or_else(|e| panic!("ablation {label} failed: {e}"));
-            AblationRow { label, ave_bsld: sim.ave_bsld(), corrections: sim.total_corrections() }
+            AblationRow {
+                label,
+                ave_bsld: sim.ave_bsld(),
+                corrections: sim.total_corrections(),
+            }
         })
         .collect()
 }
@@ -47,19 +53,24 @@ fn run_rows(
 /// conservative backfilling. Isolates how much of the win is pure
 /// scheduling mechanics.
 pub fn ablate_scheduler(workload: &GeneratedWorkload) -> Vec<AblationRow> {
-    let runs = [Variant::Fcfs, Variant::Easy, Variant::EasySjbf, Variant::Conservative]
-        .into_iter()
-        .map(|v| {
-            (
-                format!("clairvoyant+{}", v.name()),
-                HeuristicTriple {
-                    prediction: PredictionTechnique::Clairvoyant,
-                    correction: None,
-                    variant: v,
-                },
-            )
-        })
-        .collect();
+    let runs = [
+        Variant::Fcfs,
+        Variant::Easy,
+        Variant::EasySjbf,
+        Variant::Conservative,
+    ]
+    .into_iter()
+    .map(|v| {
+        (
+            format!("clairvoyant+{}", v.name()),
+            HeuristicTriple {
+                prediction: PredictionTechnique::Clairvoyant,
+                correction: None,
+                variant: v,
+            },
+        )
+    })
+    .collect();
     run_rows(workload, runs)
 }
 
@@ -85,21 +96,25 @@ pub fn ablate_correction(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 /// Optimizer ablation: NAG (the paper's choice) vs SGD vs AdaGrad with
 /// identical loss, correction and variant.
 pub fn ablate_optimizer(workload: &GeneratedWorkload) -> Vec<AblationRow> {
-    let runs = [OptimizerKind::Nag, OptimizerKind::Sgd, OptimizerKind::AdaGrad]
-        .into_iter()
-        .map(|opt| {
-            let mut cfg = MlConfig::e_loss();
-            cfg.optimizer = opt;
-            (
-                format!("eloss[{:?}]+incremental+easy-sjbf", opt),
-                HeuristicTriple {
-                    prediction: PredictionTechnique::Ml(cfg),
-                    correction: Some(CorrectionKind::Incremental),
-                    variant: Variant::EasySjbf,
-                },
-            )
-        })
-        .collect();
+    let runs = [
+        OptimizerKind::Nag,
+        OptimizerKind::Sgd,
+        OptimizerKind::AdaGrad,
+    ]
+    .into_iter()
+    .map(|opt| {
+        let mut cfg = MlConfig::e_loss();
+        cfg.optimizer = opt;
+        (
+            format!("eloss[{:?}]+incremental+easy-sjbf", opt),
+            HeuristicTriple {
+                prediction: PredictionTechnique::Ml(cfg),
+                correction: Some(CorrectionKind::Incremental),
+                variant: Variant::EasySjbf,
+            },
+        )
+    })
+    .collect();
     run_rows(workload, runs)
 }
 
@@ -129,10 +144,26 @@ pub fn ablate_basis(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 /// scheduling numbers).
 pub fn ablate_loss(workload: &GeneratedWorkload) -> Vec<AblationRow> {
     let combos = [
-        ("eloss/area", AsymmetricLoss::E_LOSS, WeightingScheme::LargeArea),
-        ("eloss/const", AsymmetricLoss::E_LOSS, WeightingScheme::Constant),
-        ("squared/area", AsymmetricLoss::SQUARED, WeightingScheme::LargeArea),
-        ("squared/const", AsymmetricLoss::SQUARED, WeightingScheme::Constant),
+        (
+            "eloss/area",
+            AsymmetricLoss::E_LOSS,
+            WeightingScheme::LargeArea,
+        ),
+        (
+            "eloss/const",
+            AsymmetricLoss::E_LOSS,
+            WeightingScheme::Constant,
+        ),
+        (
+            "squared/area",
+            AsymmetricLoss::SQUARED,
+            WeightingScheme::LargeArea,
+        ),
+        (
+            "squared/const",
+            AsymmetricLoss::SQUARED,
+            WeightingScheme::Constant,
+        ),
     ];
     let runs = combos
         .into_iter()
@@ -152,9 +183,13 @@ pub fn ablate_loss(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 
 /// Renders ablation rows as a markdown table.
 pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
-    let mut out = format!("### {title}\n\n| configuration | AVEbsld | corrections |\n|---|---|---|\n");
+    let mut out =
+        format!("### {title}\n\n| configuration | AVEbsld | corrections |\n|---|---|---|\n");
     for r in rows {
-        out.push_str(&format!("| {} | {:.2} | {} |\n", r.label, r.ave_bsld, r.corrections));
+        out.push_str(&format!(
+            "| {} | {:.2} | {} |\n",
+            r.label, r.ave_bsld, r.corrections
+        ));
     }
     out
 }
@@ -176,8 +211,14 @@ mod tests {
         let w = tiny();
         let rows = ablate_scheduler(&w);
         assert_eq!(rows.len(), 4);
-        let fcfs = rows.iter().find(|r| r.label.contains("fcfs")).expect("fcfs row");
-        let easy = rows.iter().find(|r| r.label == "clairvoyant+easy").expect("easy row");
+        let fcfs = rows
+            .iter()
+            .find(|r| r.label.contains("fcfs"))
+            .expect("fcfs row");
+        let easy = rows
+            .iter()
+            .find(|r| r.label == "clairvoyant+easy")
+            .expect("easy row");
         assert!(
             fcfs.ave_bsld >= easy.ave_bsld,
             "backfilling must not lose to plain FCFS: {} vs {}",
@@ -197,7 +238,11 @@ mod tests {
 
     #[test]
     fn render_contains_rows() {
-        let rows = vec![AblationRow { label: "x".into(), ave_bsld: 1.5, corrections: 7 }];
+        let rows = vec![AblationRow {
+            label: "x".into(),
+            ave_bsld: 1.5,
+            corrections: 7,
+        }];
         let md = render_ablation("Test", &rows);
         assert!(md.contains("### Test"));
         assert!(md.contains("| x | 1.50 | 7 |"));

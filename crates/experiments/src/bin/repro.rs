@@ -41,7 +41,10 @@ struct Options {
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut setup = ExperimentSetup { scale: QUICK_SCALE, seed: DEFAULT_SEED };
+    let mut setup = ExperimentSetup {
+        scale: QUICK_SCALE,
+        seed: DEFAULT_SEED,
+    };
     let mut out_dir = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -64,7 +67,11 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 experiments.clear();
                 experiments.push("help".into());
-                return Ok(Options { setup, out_dir, experiments });
+                return Ok(Options {
+                    setup,
+                    out_dir,
+                    experiments,
+                });
             }
             other if !other.starts_with('-') => experiments.push(other.to_string()),
             other => return Err(format!("unknown option {other:?}")),
@@ -73,7 +80,11 @@ fn parse_args() -> Result<Options, String> {
     if experiments.is_empty() {
         experiments.push("help".into());
     }
-    Ok(Options { setup, out_dir, experiments })
+    Ok(Options {
+        setup,
+        out_dir,
+        experiments,
+    })
 }
 
 fn write_json<T: serde::Serialize>(dir: &Option<std::path::PathBuf>, name: &str, value: &T) {
@@ -219,7 +230,10 @@ fn main() {
         println!("## Ablations (on {})\n", w.name);
         for (title, rows) in [
             ("Scheduler (clairvoyant)", ablation::ablate_scheduler(w)),
-            ("Correction mechanism (E-Loss learner)", ablation::ablate_correction(w)),
+            (
+                "Correction mechanism (E-Loss learner)",
+                ablation::ablate_correction(w),
+            ),
             ("Optimizer", ablation::ablate_optimizer(w)),
             ("Basis degree", ablation::ablate_basis(w)),
             ("Loss shape x weighting", ablation::ablate_loss(w)),

@@ -118,7 +118,9 @@ impl CampaignResult {
 /// Panics if any simulation rejects the workload — the generator's output
 /// is validated, so a failure here is a bug, not an input condition.
 pub fn run_campaign(workload: &GeneratedWorkload, triples: &[HeuristicTriple]) -> CampaignResult {
-    let config = SimConfig { machine_size: workload.machine_size };
+    let config = SimConfig {
+        machine_size: workload.machine_size,
+    };
     let results: Vec<TripleResult> = triples
         .par_iter()
         .map(|triple| {

@@ -22,12 +22,18 @@ impl ExperimentSetup {
     /// Quick setup (5% of the full log sizes): the default for `repro`,
     /// test suites and benches; a full campaign finishes in seconds.
     pub fn quick() -> Self {
-        Self { scale: QUICK_SCALE, seed: DEFAULT_SEED }
+        Self {
+            scale: QUICK_SCALE,
+            seed: DEFAULT_SEED,
+        }
     }
 
     /// Full Table 4 sizes (28k–495k jobs per log).
     pub fn full() -> Self {
-        Self { scale: 1.0, seed: DEFAULT_SEED }
+        Self {
+            scale: 1.0,
+            seed: DEFAULT_SEED,
+        }
     }
 
     /// The six log specs at this setup's scale.
@@ -35,13 +41,19 @@ impl ExperimentSetup {
         if (self.scale - 1.0).abs() < f64::EPSILON {
             all_six()
         } else {
-            all_six().into_iter().map(|s| s.scaled(self.scale)).collect()
+            all_six()
+                .into_iter()
+                .map(|s| s.scaled(self.scale))
+                .collect()
         }
     }
 
     /// Generates all six workloads.
     pub fn workloads(&self) -> Vec<GeneratedWorkload> {
-        self.specs().iter().map(|s| generate(s, self.seed)).collect()
+        self.specs()
+            .iter()
+            .map(|s| generate(s, self.seed))
+            .collect()
     }
 
     /// Generates one workload by Table 4 name (case-insensitive).
@@ -81,7 +93,10 @@ mod tests {
 
     #[test]
     fn workload_lookup_by_prefix() {
-        let setup = ExperimentSetup { scale: 0.01, seed: 1 };
+        let setup = ExperimentSetup {
+            scale: 0.01,
+            seed: 1,
+        };
         let w = setup.workload("curie").expect("curie exists");
         assert_eq!(w.machine_size, 80_640);
         assert!(setup.workload("nope").is_none());

@@ -88,7 +88,7 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 
 /// Names of triples eligible for selection: everything except the
 /// clairvoyant references (which use unavailable information).
-fn eligible<'a>(campaign: &'a CampaignResult) -> impl Iterator<Item = &'a str> {
+fn eligible(campaign: &CampaignResult) -> impl Iterator<Item = &str> {
     campaign
         .results
         .iter()
@@ -100,7 +100,11 @@ fn eligible<'a>(campaign: &'a CampaignResult) -> impl Iterator<Item = &'a str> {
 /// skipping the campaign at `exclude` (pass `campaigns.len()` to use all).
 pub fn select_triple(campaigns: &[CampaignResult], exclude: usize) -> String {
     assert!(!campaigns.is_empty(), "need at least one campaign");
-    let reference = if exclude == 0 && campaigns.len() > 1 { 1 } else { 0 };
+    let reference = if exclude == 0 && campaigns.len() > 1 {
+        1
+    } else {
+        0
+    };
     let mut best: Option<(f64, &str)> = None;
     for name in eligible(&campaigns[reference]) {
         let mut total = 0.0;
@@ -124,7 +128,9 @@ pub fn select_triple(campaigns: &[CampaignResult], exclude: usize) -> String {
             best = Some((total, name));
         }
     }
-    best.expect("no eligible triple common to all campaigns").1.to_string()
+    best.expect("no eligible triple common to all campaigns")
+        .1
+        .to_string()
 }
 
 /// Leave-one-out cross-validation over one campaign per log (§6.3.3).
@@ -150,7 +156,10 @@ pub fn cross_validate(campaigns: &[CampaignResult]) -> CvOutcome {
             }
         })
         .collect();
-    CvOutcome { rows, global_winner: select_triple(campaigns, campaigns.len()) }
+    CvOutcome {
+        rows,
+        global_winner: select_triple(campaigns, campaigns.len()),
+    }
 }
 
 #[cfg(test)]
@@ -180,10 +189,7 @@ mod tests {
             log: log.into(),
             machine_size: 64,
             jobs: 100,
-            results: bslds
-                .iter()
-                .map(|(t, p, b)| result(t, p, *b))
-                .collect(),
+            results: bslds.iter().map(|(t, p, b)| result(t, p, *b)).collect(),
         }
     }
 
@@ -193,9 +199,36 @@ mod tests {
         // Triple "A" is best overall; "B" wins only on log2 (the log-local
         // optimum CV must not pick for log2 when held out).
         vec![
-            campaign("log1", &[(&easy, "requested", 100.0), (&easypp, "ave2", 80.0), ("A", "ml", 50.0), ("B", "ml", 90.0), ("clair", "clairvoyant", 10.0)]),
-            campaign("log2", &[(&easy, "requested", 60.0), (&easypp, "ave2", 55.0), ("A", "ml", 40.0), ("B", "ml", 20.0), ("clair", "clairvoyant", 5.0)]),
-            campaign("log3", &[(&easy, "requested", 200.0), (&easypp, "ave2", 150.0), ("A", "ml", 100.0), ("B", "ml", 180.0), ("clair", "clairvoyant", 20.0)]),
+            campaign(
+                "log1",
+                &[
+                    (&easy, "requested", 100.0),
+                    (&easypp, "ave2", 80.0),
+                    ("A", "ml", 50.0),
+                    ("B", "ml", 90.0),
+                    ("clair", "clairvoyant", 10.0),
+                ],
+            ),
+            campaign(
+                "log2",
+                &[
+                    (&easy, "requested", 60.0),
+                    (&easypp, "ave2", 55.0),
+                    ("A", "ml", 40.0),
+                    ("B", "ml", 20.0),
+                    ("clair", "clairvoyant", 5.0),
+                ],
+            ),
+            campaign(
+                "log3",
+                &[
+                    (&easy, "requested", 200.0),
+                    (&easypp, "ave2", 150.0),
+                    ("A", "ml", 100.0),
+                    ("B", "ml", 180.0),
+                    ("clair", "clairvoyant", 20.0),
+                ],
+            ),
         ]
     }
 

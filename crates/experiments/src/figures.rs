@@ -137,10 +137,14 @@ fn run_technique(
         correction: Some(CorrectionKind::Incremental),
         variant: Variant::EasySjbf,
     };
-    let cfg = SimConfig { machine_size: workload.machine_size };
+    let cfg = SimConfig {
+        machine_size: workload.machine_size,
+    };
     (
         label.to_string(),
-        triple.run(&workload.jobs, cfg).expect("figure simulation failed"),
+        triple
+            .run(&workload.jobs, cfg)
+            .expect("figure simulation failed"),
     )
 }
 
@@ -152,13 +156,17 @@ fn run_technique(
 /// AVE₂; Figure 5 adds the actual running times as the reference
 /// distribution.
 pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
-    let runs = vec![
+    let runs = [
         run_technique(
             workload,
             "E-Loss Regression",
             PredictionTechnique::Ml(MlConfig::e_loss()),
         ),
-        run_technique(workload, "Requested Time", PredictionTechnique::RequestedTime),
+        run_technique(
+            workload,
+            "Requested Time",
+            PredictionTechnique::RequestedTime,
+        ),
         run_technique(
             workload,
             "Squared Loss Regression",
@@ -179,7 +187,10 @@ pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
                 .iter()
                 .map(|o| (o.initial_prediction - o.run) as f64 / HOUR_F)
                 .collect();
-            EcdfSeries { label: label.clone(), curve: Ecdf::new(errors).curve(-24.0, 24.0, points) }
+            EcdfSeries {
+                label: label.clone(),
+                curve: Ecdf::new(errors).curve(-24.0, 24.0, points),
+            }
         })
         .collect();
 
@@ -193,7 +204,10 @@ pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
                 .iter()
                 .map(|o| o.initial_prediction as f64 / HOUR_F)
                 .collect();
-            EcdfSeries { label: label.clone(), curve: Ecdf::new(preds).curve(0.0, 24.0, points) }
+            EcdfSeries {
+                label: label.clone(),
+                curve: Ecdf::new(preds).curve(0.0, 24.0, points),
+            }
         })
         .collect();
     let actual: Vec<f64> = runs[0]
@@ -204,10 +218,17 @@ pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
         .collect();
     value_series.insert(
         0,
-        EcdfSeries { label: "Actual value".into(), curve: Ecdf::new(actual).curve(0.0, 24.0, points) },
+        EcdfSeries {
+            label: "Actual value".into(),
+            curve: Ecdf::new(actual).curve(0.0, 24.0, points),
+        },
     );
 
-    Fig45 { log: workload.name.clone(), error_series, value_series }
+    Fig45 {
+        log: workload.name.clone(),
+        error_series,
+        value_series,
+    }
 }
 
 /// Renders an ECDF family as a compact ASCII chart (one row per series,
@@ -242,8 +263,7 @@ pub fn render_fig3(fig: &Fig3) -> String {
         fig.points.len()
     );
     for cat in ["clairvoyant", "requested", "ave2", "ml"] {
-        let pts: Vec<&Fig3Point> =
-            fig.points.iter().filter(|p| p.category == cat).collect();
+        let pts: Vec<&Fig3Point> = fig.points.iter().filter(|p| p.category == cat).collect();
         if pts.is_empty() {
             continue;
         }
@@ -332,7 +352,10 @@ mod tests {
             .find(|&&(x, _)| x >= 0.0)
             .map(|&(_, f)| f)
             .expect("curve covers 0");
-        assert!(at_zero <= 0.05, "requested-time errors must be >= 0, F(0) = {at_zero}");
+        assert!(
+            at_zero <= 0.05,
+            "requested-time errors must be >= 0, F(0) = {at_zero}"
+        );
         let txt = render_ecdf_series(&fig.error_series, "h");
         assert!(txt.contains("E-Loss Regression"));
     }
@@ -358,7 +381,13 @@ mod tests {
         let eloss = median_x("E-Loss Regression");
         let squared = median_x("Squared Loss Regression");
         let requested = median_x("Requested Time");
-        assert!(eloss <= squared, "E-Loss median {eloss} vs squared {squared}");
-        assert!(eloss < requested, "E-Loss median {eloss} vs requested {requested}");
+        assert!(
+            eloss <= squared,
+            "E-Loss median {eloss} vs squared {squared}"
+        );
+        assert!(
+            eloss < requested,
+            "E-Loss median {eloss} vs requested {requested}"
+        );
     }
 }

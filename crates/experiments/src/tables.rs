@@ -39,23 +39,27 @@ pub fn table1(workloads: &[GeneratedWorkload]) -> Vec<Table1Row> {
     workloads
         .iter()
         .map(|w| {
-            let cfg = SimConfig { machine_size: w.machine_size };
+            let cfg = SimConfig {
+                machine_size: w.machine_size,
+            };
             let easy = HeuristicTriple::standard_easy()
                 .run(&w.jobs, cfg)
                 .expect("EASY simulation failed");
             let clair = HeuristicTriple::clairvoyant(Variant::Easy)
                 .run(&w.jobs, cfg)
                 .expect("clairvoyant simulation failed");
-            Table1Row { log: w.name.clone(), easy: easy.ave_bsld(), clairvoyant: clair.ave_bsld() }
+            Table1Row {
+                log: w.name.clone(),
+                easy: easy.ave_bsld(),
+                clairvoyant: clair.ave_bsld(),
+            }
         })
         .collect()
 }
 
 /// Renders Table 1 as markdown.
 pub fn render_table1(rows: &[Table1Row]) -> String {
-    let mut out = String::from(
-        "| Log | EASY | EASY-Clairvoyant |\n|---|---|---|\n",
-    );
+    let mut out = String::from("| Log | EASY | EASY-Clairvoyant |\n|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(
             "| {} | {:.1} | {:.1} ({:.0}%) |\n",
@@ -197,7 +201,9 @@ pub struct Table8Row {
 /// Computes Table 8 on `workload` by replaying the EASY-SJBF +
 /// Incremental triple with each prediction technique.
 pub fn table8(workload: &GeneratedWorkload) -> Vec<Table8Row> {
-    let cfg = SimConfig { machine_size: workload.machine_size };
+    let cfg = SimConfig {
+        machine_size: workload.machine_size,
+    };
     [
         (
             "AVE2(k)",
@@ -211,7 +217,9 @@ pub fn table8(workload: &GeneratedWorkload) -> Vec<Table8Row> {
     ]
     .into_iter()
     .map(|(label, triple)| {
-        let sim = triple.run(&workload.jobs, cfg).expect("table 8 simulation failed");
+        let sim = triple
+            .run(&workload.jobs, cfg)
+            .expect("table 8 simulation failed");
         Table8Row {
             technique: label.to_string(),
             mae: mae_of_outcomes(&sim.outcomes),
@@ -223,8 +231,7 @@ pub fn table8(workload: &GeneratedWorkload) -> Vec<Table8Row> {
 
 /// Renders Table 8 as markdown.
 pub fn render_table8(rows: &[Table8Row]) -> String {
-    let mut out =
-        String::from("| Prediction Technique | MAE (s) | Mean E-Loss |\n|---|---|---|\n");
+    let mut out = String::from("| Prediction Technique | MAE (s) | Mean E-Loss |\n|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(
             "| {} | {:.0} | {:.3e} |\n",
@@ -249,7 +256,11 @@ mod tests {
 
     #[test]
     fn table1_decrease_math() {
-        let row = Table1Row { log: "X".into(), easy: 100.0, clairvoyant: 75.0 };
+        let row = Table1Row {
+            log: "X".into(),
+            easy: 100.0,
+            clairvoyant: 75.0,
+        };
         assert!((row.decrease_percent() - 25.0).abs() < 1e-12);
     }
 
@@ -287,7 +298,10 @@ mod tests {
     #[test]
     fn setup_can_build_a_quick_workload_set() {
         // Smoke-check the context plumbing used by the repro binary.
-        let setup = ExperimentSetup { scale: 0.002, seed: 3 };
+        let setup = ExperimentSetup {
+            scale: 0.002,
+            seed: 3,
+        };
         let ws = setup.workloads();
         assert_eq!(ws.len(), 6);
     }

@@ -176,7 +176,11 @@ impl HeuristicTriple {
     /// Clairvoyant reference under the given variant (Table 6's first two
     /// columns).
     pub fn clairvoyant(variant: Variant) -> Self {
-        Self { prediction: PredictionTechnique::Clairvoyant, correction: None, variant }
+        Self {
+            prediction: PredictionTechnique::Clairvoyant,
+            correction: None,
+            variant,
+        }
     }
 
     /// Display name, e.g. `"ml(u=lin,o=sq,g=area)+incremental+easy-sjbf"`.
@@ -244,7 +248,10 @@ pub fn campaign_triples() -> Vec<HeuristicTriple> {
 
 /// The clairvoyant references of Table 6 (not counted in the 128).
 pub fn reference_triples() -> Vec<HeuristicTriple> {
-    Variant::PAPER.iter().map(|&v| HeuristicTriple::clairvoyant(v)).collect()
+    Variant::PAPER
+        .iter()
+        .map(|&v| HeuristicTriple::clairvoyant(v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -256,15 +263,17 @@ mod tests {
         let triples = campaign_triples();
         assert_eq!(triples.len(), 128, "§6.2: 128 simulations per log");
         // All names unique.
-        let names: std::collections::HashSet<String> =
-            triples.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<String> = triples.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 128);
     }
 
     #[test]
     fn named_triples() {
         assert_eq!(HeuristicTriple::standard_easy().name(), "requested+easy");
-        assert_eq!(HeuristicTriple::easy_plus_plus().name(), "ave2+incremental+easy-sjbf");
+        assert_eq!(
+            HeuristicTriple::easy_plus_plus().name(),
+            "ave2+incremental+easy-sjbf"
+        );
         assert_eq!(
             HeuristicTriple::paper_winner().name(),
             "ml(u=lin,o=sq,g=area)+incremental+easy-sjbf"

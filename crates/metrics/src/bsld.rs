@@ -158,6 +158,9 @@ mod tests {
     #[test]
     fn record_constructor_matches_free_function() {
         let r = BsldRecord::new(50.0, 25.0);
-        assert_eq!(r.bsld(DEFAULT_TAU), bounded_slowdown(50.0, 25.0, DEFAULT_TAU));
+        assert_eq!(
+            r.bsld(DEFAULT_TAU),
+            bounded_slowdown(50.0, 25.0, DEFAULT_TAU)
+        );
     }
 }

@@ -59,7 +59,11 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn mean_signed_error(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "mean_signed_error: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "mean_signed_error: length mismatch"
+    );
     if predicted.is_empty() {
         return 0.0;
     }
@@ -94,15 +98,15 @@ pub fn mean_loss(losses: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn underprediction_rate(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "underprediction_rate: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "underprediction_rate: length mismatch"
+    );
     if predicted.is_empty() {
         return 0.0;
     }
-    let n = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p < a)
-        .count();
+    let n = predicted.iter().zip(actual).filter(|(p, a)| p < a).count();
     n as f64 / predicted.len() as f64
 }
 

@@ -118,8 +118,8 @@ mod tests {
     fn pairwise_summary() {
         let cols = vec![
             vec![1.0, 2.0, 3.0],
-            vec![2.0, 4.0, 6.0],  // r=1 with col0
-            vec![3.0, 2.0, 1.0],  // r=-1 with col0 -> abs = 1
+            vec![2.0, 4.0, 6.0], // r=1 with col0
+            vec![3.0, 2.0, 1.0], // r=-1 with col0 -> abs = 1
         ];
         let (mean, min, max) = pairwise_correlation_summary(&cols).unwrap();
         assert!((mean - 1.0).abs() < 1e-12);

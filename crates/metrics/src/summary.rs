@@ -21,11 +21,21 @@ impl Summary {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
         let n = sorted.len();
         if n == 0 {
-            return Self { n: 0, mean: 0.0, std_dev: 0.0, sorted };
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                sorted,
+            };
         }
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        Self { n, mean, std_dev: var.sqrt(), sorted }
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            sorted,
+        }
     }
 
     /// Number of finite observations.

@@ -4,7 +4,10 @@ use proptest::prelude::*;
 
 use predictsim_metrics::bsld::{fraction_bsld_above, max_bsld};
 use predictsim_metrics::error::{mean_signed_error, underprediction_rate};
-use predictsim_metrics::{ave_bsld, bounded_slowdown, mae, pearson_correlation, rmse, BsldRecord, Ecdf, Summary, DEFAULT_TAU};
+use predictsim_metrics::{
+    ave_bsld, bounded_slowdown, mae, pearson_correlation, rmse, BsldRecord, Ecdf, Summary,
+    DEFAULT_TAU,
+};
 
 proptest! {
     /// Bounded slowdown is always ≥ 1, finite, and monotone in the wait.

@@ -47,7 +47,11 @@ impl std::fmt::Display for AuditViolation {
             AuditViolation::StartBeforeSubmit { swf_id } => {
                 write!(f, "job {swf_id} started before submission")
             }
-            AuditViolation::WrongDuration { swf_id, expected, got } => {
+            AuditViolation::WrongDuration {
+                swf_id,
+                expected,
+                got,
+            } => {
                 write!(f, "job {swf_id} ran {got}s, expected {expected}s")
             }
             AuditViolation::CapacityExceeded { at, used, machine } => {
@@ -132,7 +136,11 @@ pub fn audit_outcomes(
         }
     }
 
-    Ok(AuditReport { jobs: outcomes.len(), peak_usage, peak_running })
+    Ok(AuditReport {
+        jobs: outcomes.len(),
+        peak_usage,
+        peak_running,
+    })
 }
 
 #[cfg(test)]

@@ -132,7 +132,11 @@ pub fn simulate(
     let mut free: u32 = m;
     let mut books: Vec<JobBook> = jobs
         .iter()
-        .map(|_| JobBook { initial_prediction: 0, start: None, corrections: 0 })
+        .map(|_| JobBook {
+            initial_prediction: 0,
+            start: None,
+            corrections: 0,
+        })
         .collect();
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
 
@@ -168,7 +172,11 @@ pub fn simulate(
                         corrections: r.corrections,
                         killed: job.is_killed(),
                     });
-                    let view = SystemView { now, machine_size: m, running: &running };
+                    let view = SystemView {
+                        now,
+                        machine_size: m,
+                        running: &running,
+                    };
                     predictor.observe(job, job.granted_run(), &view);
                 }
                 EventKind::PredictionExpiry(id, generation) => {
@@ -199,7 +207,11 @@ pub fn simulate(
                 }
                 EventKind::Submit(id) => {
                     let job = &jobs[id.index()];
-                    let view = SystemView { now, machine_size: m, running: &running };
+                    let view = SystemView {
+                        now,
+                        machine_size: m,
+                        running: &running,
+                    };
                     let raw = predictor.predict(job, &view);
                     let prediction = clamp_prediction(raw, job.requested);
                     books[id.index()].initial_prediction = prediction;
@@ -216,10 +228,23 @@ pub fn simulate(
         }
 
         // One scheduling pass over the post-event state.
-        let ctx = SchedulerContext { now, machine_size: m, free, queue: &queue, running: &running };
+        let ctx = SchedulerContext {
+            now,
+            machine_size: m,
+            free,
+            queue: &queue,
+            running: &running,
+        };
         let starts = scheduler.schedule(&ctx);
         apply_starts(
-            &starts, jobs, now, &mut queue, &mut running, &mut free, &mut books, &mut events,
+            &starts,
+            jobs,
+            now,
+            &mut queue,
+            &mut running,
+            &mut free,
+            &mut books,
+            &mut events,
         )?;
     }
 
@@ -296,10 +321,7 @@ fn apply_starts(
         let w = queue.remove(pos);
         if w.procs > *free {
             return Err(SimError::SchedulerViolation {
-                message: format!(
-                    "{id} needs {} procs but only {} are free",
-                    w.procs, *free
-                ),
+                message: format!("{id} needs {} procs but only {} are free", w.procs, *free),
             });
         }
         *free -= w.procs;
@@ -327,7 +349,7 @@ fn apply_starts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predict::{ClairvoyantPredictor, RequestedTimePredictor, RequestedTimeCorrection};
+    use crate::predict::{ClairvoyantPredictor, RequestedTimeCorrection, RequestedTimePredictor};
     use crate::scheduler::{EasyScheduler, FcfsScheduler};
 
     fn job(id: u32, submit: i64, run: i64, requested: i64, procs: u32, user: u32) -> Job {
@@ -570,15 +592,30 @@ mod tests {
             }
         }
         let jobs = [job(0, 0, 10, 10, 3, 1), job(1, 0, 10, 10, 3, 1)];
-        let err = simulate(&jobs, config(4), &mut Greedy, &mut ClairvoyantPredictor, None)
-            .unwrap_err();
+        let err = simulate(
+            &jobs,
+            config(4),
+            &mut Greedy,
+            &mut ClairvoyantPredictor,
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::SchedulerViolation { .. }));
     }
 
     #[test]
     fn all_jobs_complete_and_outcomes_are_ordered() {
         let jobs: Vec<Job> = (0..50)
-            .map(|i| job(i, (i as i64) * 7 % 40, 20 + (i as i64 * 13) % 100, 200, 1 + (i % 3), i % 5))
+            .map(|i| {
+                job(
+                    i,
+                    (i as i64) * 7 % 40,
+                    20 + (i as i64 * 13) % 100,
+                    200,
+                    1 + (i % 3),
+                    i % 5,
+                )
+            })
             .collect();
         // jobs must be sorted by submit; sort and renumber.
         let mut sorted = jobs;

@@ -125,7 +125,10 @@ mod tests {
         q.push(Time(5), EventKind::PredictionExpiry(JobId(2), 0));
         q.push(Time(5), EventKind::Finish(JobId(3)));
         assert!(matches!(q.pop().unwrap().kind, EventKind::Finish(_)));
-        assert!(matches!(q.pop().unwrap().kind, EventKind::PredictionExpiry(_, _)));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::PredictionExpiry(_, _)
+        ));
         assert!(matches!(q.pop().unwrap().kind, EventKind::Submit(_)));
     }
 

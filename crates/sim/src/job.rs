@@ -75,7 +75,10 @@ impl Job {
             return Err(format!("{}: non-positive run time {}", self.id, self.run));
         }
         if self.requested <= 0 {
-            return Err(format!("{}: non-positive requested time {}", self.id, self.requested));
+            return Err(format!(
+                "{}: non-positive requested time {}",
+                self.id, self.requested
+            ));
         }
         if self.procs == 0 {
             return Err(format!("{}: zero processors", self.id));

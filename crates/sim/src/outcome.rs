@@ -95,8 +95,18 @@ impl SimResult {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let first_submit = self.outcomes.iter().map(|o| o.submit.0).min().expect("non-empty");
-        let last_end = self.outcomes.iter().map(|o| o.end.0).max().expect("non-empty");
+        let first_submit = self
+            .outcomes
+            .iter()
+            .map(|o| o.submit.0)
+            .min()
+            .expect("non-empty");
+        let last_end = self
+            .outcomes
+            .iter()
+            .map(|o| o.end.0)
+            .max()
+            .expect("non-empty");
         let span = (last_end - first_submit).max(1) as f64;
         let busy: f64 = self
             .outcomes
@@ -111,8 +121,18 @@ impl SimResult {
         if self.outcomes.is_empty() {
             return 0;
         }
-        let first = self.outcomes.iter().map(|o| o.submit.0).min().expect("non-empty");
-        let last = self.outcomes.iter().map(|o| o.end.0).max().expect("non-empty");
+        let first = self
+            .outcomes
+            .iter()
+            .map(|o| o.submit.0)
+            .min()
+            .expect("non-empty");
+        let last = self
+            .outcomes
+            .iter()
+            .map(|o| o.end.0)
+            .max()
+            .expect("non-empty");
         last - first
     }
 
@@ -187,7 +207,10 @@ mod tests {
     #[test]
     fn utilization_full_machine() {
         // One job occupying the full machine for the whole span.
-        let o = JobOutcome { procs: 10, ..outcome(0, 0, 0, 100, 10) };
+        let o = JobOutcome {
+            procs: 10,
+            ..outcome(0, 0, 0, 100, 10)
+        };
         let r = result(vec![o]);
         assert!((r.utilization() - 1.0).abs() < 1e-9);
     }

@@ -138,7 +138,11 @@ mod tests {
     }
 
     fn empty_view() -> SystemView<'static> {
-        SystemView { now: Time(0), machine_size: 16, running: &[] }
+        SystemView {
+            now: Time(0),
+            machine_size: 16,
+            running: &[],
+        }
     }
 
     #[test]

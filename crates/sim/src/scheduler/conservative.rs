@@ -85,7 +85,11 @@ mod tests {
         // Profile after A,B reservations: [0,100):2, [100,300):2(10-8),
         // [300,500):2. C fits at 0 on 2 procs? free_at in [0,250) is 2 -> C
         // starts now *because the extra 2 procs happen to stay free*.
-        let queue = [waiting(0, 8, 200, 0), waiting(1, 8, 200, 1), waiting(2, 2, 250, 2)];
+        let queue = [
+            waiting(0, 8, 200, 0),
+            waiting(1, 8, 200, 1),
+            waiting(2, 2, 250, 2),
+        ];
         let running = [running(9, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
         let starts = ConservativeScheduler.schedule(&c);
@@ -100,7 +104,11 @@ mod tests {
         // during [300, 400) would be 10-4(B)-... profile: [300,...) has
         // 10-4=6 free after B, so C fits at 0: starts.
         // Make C need 4 procs instead: free now = 2 -> cannot start now.
-        let queue = [waiting(0, 8, 200, 0), waiting(1, 4, 200, 1), waiting(2, 4, 400, 2)];
+        let queue = [
+            waiting(0, 8, 200, 0),
+            waiting(1, 4, 200, 1),
+            waiting(2, 4, 400, 2),
+        ];
         let running = [running(9, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
         let starts = ConservativeScheduler.schedule(&c);

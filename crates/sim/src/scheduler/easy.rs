@@ -55,7 +55,9 @@ pub struct EasyScheduler {
 impl EasyScheduler {
     /// Plain EASY (FCFS backfill order).
     pub fn new() -> Self {
-        Self { order: BackfillOrder::Fcfs }
+        Self {
+            order: BackfillOrder::Fcfs,
+        }
     }
 
     /// EASY with the given backfill ordering.
@@ -84,7 +86,7 @@ pub fn head_reservation(
     now: Time,
     free: u32,
     head_procs: u32,
-    releases: &mut Vec<(Time, u32)>,
+    releases: &mut [(Time, u32)],
 ) -> Reservation {
     debug_assert!(free < head_procs, "head fits now; no reservation needed");
     releases.sort_unstable_by_key(|&(t, _)| t);
@@ -92,12 +94,18 @@ pub fn head_reservation(
     for &(t, procs) in releases.iter() {
         avail += procs;
         if avail >= head_procs {
-            return Reservation { shadow: t, extra: avail - head_procs };
+            return Reservation {
+                shadow: t,
+                extra: avail - head_procs,
+            };
         }
     }
     // Unreachable for validated inputs (head_procs ≤ machine size means all
     // releases plus free cover it); degrade gracefully for robustness.
-    Reservation { shadow: now, extra: 0 }
+    Reservation {
+        shadow: now,
+        extra: 0,
+    }
 }
 
 impl Scheduler for EasyScheduler {
@@ -226,7 +234,11 @@ mod tests {
     #[test]
     fn extra_is_consumed_by_long_backfills() {
         // extra = 4; two long 3-proc jobs -> only the first backfills.
-        let queue = [waiting(2, 6, 500, 1), waiting(3, 3, 400, 2), waiting(4, 3, 400, 3)];
+        let queue = [
+            waiting(2, 6, 500, 1),
+            waiting(3, 3, 400, 2),
+            waiting(4, 3, 400, 3),
+        ];
         let running = [running(1, 6, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
         let starts = EasyScheduler::new().schedule(&c);
@@ -257,7 +269,11 @@ mod tests {
         // job, both 2 procs, only one can backfill (extra=0, shadow=100).
         // FCFS order backfills neither (first candidate too long, second
         // fits); SJBF backfills the short one.
-        let queue = [waiting(2, 10, 500, 1), waiting(3, 2, 300, 2), waiting(4, 2, 80, 3)];
+        let queue = [
+            waiting(2, 10, 500, 1),
+            waiting(3, 2, 300, 2),
+            waiting(4, 2, 80, 3),
+        ];
         let running = [running(1, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
 
@@ -279,7 +295,11 @@ mod tests {
         // the shadow. Only one of them can start (free=2).
         // FCFS examines A first and gives it the slot; SJBF examines the
         // short job B first — the behavior [24] argues improves packing.
-        let queue = [waiting(2, 8, 500, 1), waiting(3, 2, 300, 2), waiting(4, 2, 50, 3)];
+        let queue = [
+            waiting(2, 8, 500, 1),
+            waiting(3, 2, 300, 2),
+            waiting(4, 2, 50, 3),
+        ];
         let running = [running(1, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
 
@@ -291,7 +311,11 @@ mod tests {
 
     #[test]
     fn whole_queue_starts_when_machine_is_free() {
-        let queue = [waiting(0, 3, 10, 0), waiting(1, 3, 10, 1), waiting(2, 4, 10, 2)];
+        let queue = [
+            waiting(0, 3, 10, 0),
+            waiting(1, 3, 10, 1),
+            waiting(2, 4, 10, 2),
+        ];
         let c = ctx(0, 10, &queue, &[]);
         let starts = EasyScheduler::new().schedule(&c);
         assert_eq!(starts.len(), 3);
@@ -305,7 +329,11 @@ mod tests {
         // free after A = 0; releases: running (2 procs @50), A (2 @100).
         // At 50: avail 2 < 4; at 100: avail 4 -> shadow=100.
         // Candidate C (2 procs, pred 40): free=0 -> cannot backfill.
-        let queue = [waiting(10, 2, 100, 0), waiting(11, 4, 100, 1), waiting(12, 2, 40, 2)];
+        let queue = [
+            waiting(10, 2, 100, 0),
+            waiting(11, 4, 100, 1),
+            waiting(12, 2, 40, 2),
+        ];
         let running = [running(1, 2, 0, 50)];
         let c = ctx(0, 4, &queue, &running);
         let starts = EasyScheduler::new().schedule(&c);

@@ -39,7 +39,11 @@ mod tests {
 
     #[test]
     fn starts_in_order_until_blocked() {
-        let queue = [waiting(0, 4, 100, 0), waiting(1, 4, 100, 1), waiting(2, 2, 100, 2)];
+        let queue = [
+            waiting(0, 4, 100, 0),
+            waiting(1, 4, 100, 1),
+            waiting(2, 2, 100, 2),
+        ];
         let c = ctx(0, 8, &queue, &[]);
         let starts = FcfsScheduler.schedule(&c);
         // Jobs 0 and 1 fill the machine; job 2 must wait even though it fits

@@ -64,12 +64,7 @@ impl Profile {
         debug_assert!(duration > 0, "reservation must have positive duration");
         // Candidate starts: `from` itself and every later breakpoint.
         let mut candidates: Vec<i64> = vec![from];
-        candidates.extend(
-            self.points
-                .iter()
-                .map(|&(t, _)| t)
-                .filter(|&t| t > from),
-        );
+        candidates.extend(self.points.iter().map(|&(t, _)| t).filter(|&t| t > from));
         'candidate: for s in candidates {
             if self.free_at(s) < procs {
                 continue;
@@ -90,7 +85,10 @@ impl Profile {
         }
         // With procs ≤ machine size this is unreachable; degrade to the
         // profile's horizon for robustness.
-        self.points.last().map(|&(t, _)| t.max(from)).unwrap_or(from)
+        self.points
+            .last()
+            .map(|&(t, _)| t.max(from))
+            .unwrap_or(from)
     }
 
     /// Removes `procs` processors during `[start, start + duration)`.

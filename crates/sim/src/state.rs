@@ -129,8 +129,16 @@ mod tests {
 
     #[test]
     fn system_view_user_filters() {
-        let running = vec![rj(1, 7, 4, 0, 100), rj(2, 7, 2, 0, 100), rj(3, 9, 8, 0, 100)];
-        let view = SystemView { now: Time(50), machine_size: 64, running: &running };
+        let running = vec![
+            rj(1, 7, 4, 0, 100),
+            rj(2, 7, 2, 0, 100),
+            rj(3, 9, 8, 0, 100),
+        ];
+        let view = SystemView {
+            now: Time(50),
+            machine_size: 64,
+            running: &running,
+        };
         assert_eq!(view.running_of_user(7).count(), 2);
         assert_eq!(view.occupied_resources(7), 6);
         assert_eq!(view.occupied_resources(9), 8);

@@ -52,8 +52,11 @@ impl CorrectionPolicy for Recording {
 fn corrections_fire_in_sequence_until_the_job_ends() {
     // Job runs 1000s, predicted 100s, corrections add 200s each:
     // expiries at 100, 300, 500, 700, 900 -> 5 corrections.
-    let jobs = [job(0, 0, 1000, 100_000, 1, )];
-    let corr = Recording { add: 200, calls: Default::default() };
+    let jobs = [job(0, 0, 1000, 100_000, 1)];
+    let corr = Recording {
+        add: 200,
+        calls: Default::default(),
+    };
     let mut pred = Fixed(100.0);
     let res = simulate(
         &jobs,
@@ -140,16 +143,16 @@ fn underprediction_can_delay_a_reservation_the_starvation_hazard() {
     // Machine 4. j0 holds 2 procs for 300s. j1 (wide, 4 procs) arrives at
     // t=10. j2..j4 (2 procs each, actual 200s but predicted 20s) arrive
     // later and backfill "briefly" — each overruns its prediction by 10x.
-    let mut jobs = vec![
-        job(0, 0, 300, 400, 2),
-        job(1, 10, 100, 150, 4),
-    ];
+    let mut jobs = vec![job(0, 0, 300, 400, 2), job(1, 10, 100, 150, 4)];
     for (i, submit) in [(2u32, 20i64), (3, 40), (4, 60)] {
         jobs.push(job(i, submit, 200, 100_000, 2));
     }
     // Under-predicting predictor: everything is "20 seconds".
     let mut under = Fixed(20.0);
-    let corr = Recording { add: 20, calls: Default::default() };
+    let corr = Recording {
+        add: 20,
+        calls: Default::default(),
+    };
     let res_under = simulate(
         &jobs,
         SimConfig { machine_size: 4 },
@@ -183,7 +186,10 @@ fn underprediction_can_delay_a_reservation_the_starvation_hazard() {
 #[test]
 fn overprediction_never_triggers_corrections() {
     let jobs = [job(0, 0, 100, 100_000, 1)];
-    let corr = Recording { add: 100, calls: Default::default() };
+    let corr = Recording {
+        add: 100,
+        calls: Default::default(),
+    };
     let mut pred = Fixed(50_000.0);
     let res = simulate(
         &jobs,

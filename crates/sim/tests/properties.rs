@@ -13,9 +13,7 @@ use predictsim_sim::job::{Job, JobId};
 use predictsim_sim::predict::{
     ClairvoyantPredictor, RequestedTimeCorrection, RequestedTimePredictor, RuntimePredictor,
 };
-use predictsim_sim::scheduler::{
-    ConservativeScheduler, EasyScheduler, FcfsScheduler, Scheduler,
-};
+use predictsim_sim::scheduler::{ConservativeScheduler, EasyScheduler, FcfsScheduler, Scheduler};
 use predictsim_sim::state::SystemView;
 use predictsim_sim::time::Time;
 
@@ -26,11 +24,11 @@ const MACHINE: u32 = 16;
 fn arb_workload(n: usize) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            0i64..500,       // interarrival gap
-            1i64..5_000,     // run time
-            1.0f64..10.0,    // over-estimation factor
-            1u32..=MACHINE,  // procs
-            0u32..6,         // user
+            0i64..500,      // interarrival gap
+            1i64..5_000,    // run time
+            1.0f64..10.0,   // over-estimation factor
+            1u32..=MACHINE, // procs
+            0u32..6,        // user
         ),
         0..n,
     )

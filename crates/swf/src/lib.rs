@@ -41,8 +41,8 @@
 
 pub mod filter;
 pub mod header;
-pub mod record;
 pub mod reader;
+pub mod record;
 pub mod writer;
 
 pub use filter::{clean, CleaningReport, CleaningRules};

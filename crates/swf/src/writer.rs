@@ -99,7 +99,8 @@ mod tests {
 
     #[test]
     fn log_round_trip_keeps_header() {
-        let text = "; MaxProcs: 128\n; Computer: Test\n1 0 0 10 1 -1 -1 1 20 -1 1 0 0 0 0 0 -1 -1\n";
+        let text =
+            "; MaxProcs: 128\n; Computer: Test\n1 0 0 10 1 -1 -1 1 20 -1 1 0 0 0 0 0 -1 -1\n";
         let log = parse_log(text).unwrap();
         let rewritten = write_log(&log);
         let reparsed = parse_log(&rewritten).unwrap();

@@ -45,8 +45,7 @@ proptest! {
     /// write ∘ parse = identity on records.
     #[test]
     fn records_round_trip(records in prop::collection::vec(arb_record(), 0..50)) {
-        let mut log = predictsim_swf::SwfLog::default();
-        log.records = records.clone();
+        let log = predictsim_swf::SwfLog { records: records.clone(), ..Default::default() };
         let text = write_log(&log);
         let reparsed = parse_log(&text).unwrap();
         prop_assert_eq!(reparsed.records, records);
@@ -55,8 +54,7 @@ proptest! {
     /// Cleaning is idempotent: applying it twice changes nothing further.
     #[test]
     fn cleaning_is_idempotent(records in prop::collection::vec(arb_record(), 0..50)) {
-        let mut log = predictsim_swf::SwfLog::default();
-        log.records = records;
+        let mut log = predictsim_swf::SwfLog { records, ..Default::default() };
         let rules = CleaningRules::default();
         clean(&mut log, 1024, rules);
         let after_first = log.records.clone();
@@ -73,13 +71,12 @@ proptest! {
     /// positive run time, procs within machine, requested >= run.
     #[test]
     fn cleaned_records_are_simulatable(records in prop::collection::vec(arb_record(), 0..50)) {
-        let mut log = predictsim_swf::SwfLog::default();
-        log.records = records;
+        let mut log = predictsim_swf::SwfLog { records, ..Default::default() };
         clean(&mut log, 1024, CleaningRules::default());
         for r in &log.records {
             prop_assert!(r.is_simulatable());
             let q = r.effective_procs().unwrap();
-            prop_assert!(q >= 1 && q <= 1024);
+            prop_assert!((1..=1024).contains(&q));
             let run = r.run_time_opt().unwrap();
             let req = r.requested_time_opt().unwrap();
             prop_assert!(req >= run, "requested {req} < run {run}");

@@ -93,7 +93,11 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> GeneratedWorkload {
     // the class-level "habitual request" semantics survive calibration.
     let target_work = spec.utilization * spec.machine_size as f64 * spec.duration as f64;
     let raw_work: f64 = raw.iter().map(|r| r.runtime * r.procs as f64).sum();
-    let scale = if raw_work > 0.0 { target_work / raw_work } else { 1.0 };
+    let scale = if raw_work > 0.0 {
+        target_work / raw_work
+    } else {
+        1.0
+    };
     let max_run = (7 * DAY) as f64;
     for r in &mut raw {
         r.runtime = (r.runtime * scale).clamp(10.0, max_run);
@@ -145,16 +149,16 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> GeneratedWorkload {
         crashed_jobs: crashed,
     };
 
-    GeneratedWorkload { name: spec.name.clone(), machine_size: spec.machine_size, jobs, stats }
+    GeneratedWorkload {
+        name: spec.name.clone(),
+        machine_size: spec.machine_size,
+        jobs,
+        stats,
+    }
 }
 
 /// One submission burst of a user.
-fn generate_session(
-    spec: &WorkloadSpec,
-    user: &User,
-    rng: &mut StdRng,
-    out: &mut Vec<RawJob>,
-) {
+fn generate_session(spec: &WorkloadSpec, user: &User, rng: &mut StdRng, out: &mut Vec<RawJob>) {
     // Place the session on the weekly cycle: weekdays dominate.
     let days = (spec.duration / DAY).max(1);
     let day = loop {
@@ -236,7 +240,9 @@ impl GeneratedWorkload {
 
     /// Convenience: a `SimConfig` for this workload's machine.
     pub fn sim_config(&self) -> predictsim_sim::SimConfig {
-        predictsim_sim::SimConfig { machine_size: self.machine_size }
+        predictsim_sim::SimConfig {
+            machine_size: self.machine_size,
+        }
     }
 }
 
@@ -319,7 +325,10 @@ mod tests {
         }
         assert!(total > 100, "not enough per-user sequences ({total})");
         let frac = close as f64 / total as f64;
-        assert!(frac > 0.5, "locality too weak: only {frac:.2} of pairs close");
+        assert!(
+            frac > 0.5,
+            "locality too weak: only {frac:.2} of pairs close"
+        );
     }
 
     #[test]

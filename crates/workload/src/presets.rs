@@ -21,7 +21,14 @@ use crate::spec::WorkloadSpec;
 
 const MONTH: i64 = 30 * 86_400;
 
-fn base(name: &str, machine: u32, jobs: usize, months: i64, utilization: f64, users: usize) -> WorkloadSpec {
+fn base(
+    name: &str,
+    machine: u32,
+    jobs: usize,
+    months: i64,
+    utilization: f64,
+    users: usize,
+) -> WorkloadSpec {
     WorkloadSpec {
         name: name.into(),
         machine_size: machine,
@@ -94,7 +101,14 @@ pub fn metacentrum() -> WorkloadSpec {
 
 /// All six Table 4 presets in the paper's order.
 pub fn all_six() -> Vec<WorkloadSpec> {
-    vec![kth_sp2(), ctc_sp2(), sdsc_sp2(), sdsc_blue(), curie(), metacentrum()]
+    vec![
+        kth_sp2(),
+        ctc_sp2(),
+        sdsc_sp2(),
+        sdsc_blue(),
+        curie(),
+        metacentrum(),
+    ]
 }
 
 /// All six presets scaled by `factor` (see [`WorkloadSpec::scaled`]) —
@@ -123,7 +137,14 @@ mod tests {
         let names: Vec<&str> = six.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            ["KTH-SP2", "CTC-SP2", "SDSC-SP2", "SDSC-BLUE", "Curie", "Metacentrum"]
+            [
+                "KTH-SP2",
+                "CTC-SP2",
+                "SDSC-SP2",
+                "SDSC-BLUE",
+                "Curie",
+                "Metacentrum"
+            ]
         );
         // Table 4 numbers.
         assert_eq!(six[0].machine_size, 100);

@@ -93,22 +93,22 @@ pub fn proc_request<R: Rng + ?Sized>(rng: &mut R, max: u32, mean_log2: f64, sd_l
 /// Feitelson, *Modeling user runtime estimates* \[23\]): round wall-clock
 /// figures, in seconds.
 pub const MODAL_REQUEST_VALUES: [i64; 16] = [
-    300,     // 5 min
-    600,     // 10 min
-    900,     // 15 min
-    1800,    // 30 min
-    3600,    // 1 h
-    7200,    // 2 h
-    14400,   // 4 h
-    21600,   // 6 h
-    28800,   // 8 h
-    43200,   // 12 h
-    64800,   // 18 h
-    86400,   // 24 h
-    129600,  // 36 h
-    172800,  // 48 h
-    259200,  // 72 h
-    360000,  // 100 h
+    300,    // 5 min
+    600,    // 10 min
+    900,    // 15 min
+    1800,   // 30 min
+    3600,   // 1 h
+    7200,   // 2 h
+    14400,  // 4 h
+    21600,  // 6 h
+    28800,  // 8 h
+    43200,  // 12 h
+    64800,  // 18 h
+    86400,  // 24 h
+    129600, // 36 h
+    172800, // 48 h
+    259200, // 72 h
+    360000, // 100 h
 ];
 
 /// Rounds a raw requested time up to the next modal value (when below the
@@ -152,7 +152,10 @@ mod tests {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[n / 2];
         let expected = 8.0f64.exp();
-        assert!((median / expected - 1.0).abs() < 0.1, "median {median} vs {expected}");
+        assert!(
+            (median / expected - 1.0).abs() < 0.1,
+            "median {median} vs {expected}"
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

@@ -106,19 +106,21 @@ pub fn build_users<R: Rng + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Vec<Use
                     spec.procs_mean_log2,
                     spec.procs_sigma_log2,
                 );
-                JobClass { mu, sigma, procs, weight: rng.gen_range(0.2..1.0) }
+                JobClass {
+                    mu,
+                    sigma,
+                    procs,
+                    weight: rng.gen_range(0.2..1.0),
+                }
             })
             .collect();
         // Zipf-like activity: a few users dominate the log.
         let activity = 1.0 / (1.0 + id as f64).powf(0.8);
         // Over-estimation factor: lognormal around the spec's median, with
         // a floor at 1 (requests never below actual, enforced later too).
-        let overestimate = sampling::lognormal(
-            rng,
-            spec.overestimate_median.ln(),
-            spec.overestimate_sigma,
-        )
-        .max(1.0);
+        let overestimate =
+            sampling::lognormal(rng, spec.overestimate_median.ln(), spec.overestimate_sigma)
+                .max(1.0);
         let rounds_to_modal = rng.gen::<f64>() < spec.modal_round_prob;
         // Peak activity hours concentrated in the working day.
         let peak_hour = sampling::normal_with(rng, 13.0, 3.0).rem_euclid(24.0);
@@ -175,17 +177,30 @@ mod tests {
         // the locality signal. Compare within-class spread to the class
         // median for a tight class.
         let mut rng = StdRng::seed_from_u64(2);
-        let class = JobClass { mu: (3600.0f64).ln(), sigma: 0.2, procs: 8, weight: 1.0 };
+        let class = JobClass {
+            mu: (3600.0f64).ln(),
+            sigma: 0.2,
+            procs: 8,
+            weight: 1.0,
+        };
         let samples: Vec<f64> = (0..500).map(|_| class.sample_runtime(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let within = samples.iter().filter(|&&x| (x / mean - 1.0).abs() < 0.5).count();
+        let within = samples
+            .iter()
+            .filter(|&&x| (x / mean - 1.0).abs() < 0.5)
+            .count();
         assert!(within > 450, "class runtimes too dispersed: {within}/500");
     }
 
     #[test]
     fn class_procs_mostly_canonical() {
         let mut rng = StdRng::seed_from_u64(3);
-        let class = JobClass { mu: 8.0, sigma: 0.3, procs: 16, weight: 1.0 };
+        let class = JobClass {
+            mu: 8.0,
+            sigma: 0.3,
+            procs: 16,
+            weight: 1.0,
+        };
         let canonical = (0..1000)
             .filter(|_| class.sample_procs(&mut rng, 64) == 16)
             .count();

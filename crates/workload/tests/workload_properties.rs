@@ -8,15 +8,15 @@ use predictsim_workload::{generate, WorkloadSpec};
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        16u32..256,          // machine size
-        60usize..300,        // jobs
-        1i64..8,             // duration (days)
-        0.3f64..1.0,         // utilization
-        1usize..40,          // users
-        0.0f64..0.3,         // crash rate
-        1.0f64..8.0,         // overestimate median
-        0.0f64..1.0,         // modal prob
-        1usize..5,           // classes per user
+        16u32..256,   // machine size
+        60usize..300, // jobs
+        1i64..8,      // duration (days)
+        0.3f64..1.0,  // utilization
+        1usize..40,   // users
+        0.0f64..0.3,  // crash rate
+        1.0f64..8.0,  // overestimate median
+        0.0f64..1.0,  // modal prob
+        1usize..5,    // classes per user
     )
         .prop_map(
             |(m, jobs, days, util, users, crash, over, modal, classes)| WorkloadSpec {

@@ -15,9 +15,11 @@ use predictsim::workload::presets;
 
 fn main() {
     // Two logs, 2% scale: ~1,800 jobs total, a few seconds of work.
-    let specs = [presets::kth_sp2().scaled(0.02), presets::sdsc_sp2().scaled(0.02)];
-    let workloads: Vec<GeneratedWorkload> =
-        specs.iter().map(|s| generate(s, 20150101)).collect();
+    let specs = [
+        presets::kth_sp2().scaled(0.02),
+        presets::sdsc_sp2().scaled(0.02),
+    ];
+    let workloads: Vec<GeneratedWorkload> = specs.iter().map(|s| generate(s, 20150101)).collect();
 
     let mut triples = campaign_triples();
     triples.extend(reference_triples());
@@ -40,10 +42,16 @@ fn main() {
             .best_where(|r| r.predictor != "clairvoyant")
             .expect("non-empty campaign");
         let clair = c.bsld_of("clairvoyant+easy-sjbf");
-        println!("\n=== {} ({} jobs on {} procs)", c.log, c.jobs, c.machine_size);
+        println!(
+            "\n=== {} ({} jobs on {} procs)",
+            c.log, c.jobs, c.machine_size
+        );
         println!("  EASY                {easy:>8.2}");
         println!("  EASY++              {easypp:>8.2}");
-        println!("  best triple         {:>8.2}  ({})", best.ave_bsld, best.triple);
+        println!(
+            "  best triple         {:>8.2}  ({})",
+            best.ave_bsld, best.triple
+        );
         println!("  clairvoyant SJBF    {clair:>8.2}  (upper bound)");
     }
 

@@ -41,7 +41,11 @@ fn main() {
     );
 
     let runs = vec![
-        run_with(&workload, "requested-time", PredictionTechnique::RequestedTime),
+        run_with(
+            &workload,
+            "requested-time",
+            PredictionTechnique::RequestedTime,
+        ),
         run_with(&workload, "ave2 (Tsafrir)", PredictionTechnique::Ave2),
         run_with(
             &workload,
@@ -51,7 +55,11 @@ fn main() {
                 WeightingScheme::Constant,
             )),
         ),
-        run_with(&workload, "ML E-Loss", PredictionTechnique::Ml(MlConfig::e_loss())),
+        run_with(
+            &workload,
+            "ML E-Loss",
+            PredictionTechnique::Ml(MlConfig::e_loss()),
+        ),
     ];
 
     // Table-8-style comparison: MAE vs mean E-Loss, plus the
@@ -61,7 +69,11 @@ fn main() {
         "technique", "MAE (s)", "mean E-Loss", "under-pred", "AVEbsld"
     );
     for (label, res) in &runs {
-        let preds: Vec<f64> = res.outcomes.iter().map(|o| o.initial_prediction as f64).collect();
+        let preds: Vec<f64> = res
+            .outcomes
+            .iter()
+            .map(|o| o.initial_prediction as f64)
+            .collect();
         let actual: Vec<f64> = res.outcomes.iter().map(|o| o.run as f64).collect();
         println!(
             "{:<18} {:>10.0} {:>14.3e} {:>11.0}% {:>9.2}",

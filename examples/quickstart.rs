@@ -48,8 +48,10 @@ fn main() {
     // correction, EASY-SJBF.
     let ml_cv = HeuristicTriple {
         prediction: PredictionTechnique::Ml(MlConfig::new(
-            AsymmetricLoss { under: predictsim::core::BasisLoss::Linear,
-                             over: predictsim::core::BasisLoss::Linear },
+            AsymmetricLoss {
+                under: predictsim::core::BasisLoss::Linear,
+                over: predictsim::core::BasisLoss::Linear,
+            },
             WeightingScheme::Constant,
         )),
         correction: Some(predictsim::experiments::CorrectionKind::RequestedTime),
@@ -63,13 +65,12 @@ fn main() {
         .run(&workload.jobs, cfg)
         .expect("clairvoyant simulation failed");
 
-    println!("\n{:<34} {:>9} {:>11} {:>12}", "scheduler", "AVEbsld", "mean wait", "corrections");
+    println!(
+        "\n{:<34} {:>9} {:>11} {:>12}",
+        "scheduler", "AVEbsld", "mean wait", "corrections"
+    );
     for r in [&easy, &easypp, &ml, &ml_cv, &clair] {
-        let label = format!(
-            "{}+{}",
-            r.predictor,
-            r.scheduler
-        );
+        let label = format!("{}+{}", r.predictor, r.scheduler);
         println!(
             "{:<34} {:>9.2} {:>10.0}s {:>12}",
             label,

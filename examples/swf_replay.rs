@@ -17,16 +17,19 @@ use predictsim::prelude::*;
 use predictsim::swf::{clean, parse_log, write_log, CleaningRules};
 
 fn main() {
-    let path = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
-        // No log supplied: fabricate one so the example is self-contained.
-        let spec = WorkloadSpec::toy();
-        let workload = generate(&spec, 7);
-        let text = write_log(&workload.to_swf());
-        let path = std::env::temp_dir().join("predictsim_quickstart.swf");
-        std::fs::write(&path, text).expect("write temporary SWF");
-        println!("no log given; wrote synthetic log to {}", path.display());
-        path
-    });
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // No log supplied: fabricate one so the example is self-contained.
+            let spec = WorkloadSpec::toy();
+            let workload = generate(&spec, 7);
+            let text = write_log(&workload.to_swf());
+            let path = std::env::temp_dir().join("predictsim_quickstart.swf");
+            std::fs::write(&path, text).expect("write temporary SWF");
+            println!("no log given; wrote synthetic log to {}", path.display());
+            path
+        });
 
     // 1. Parse.
     let text = std::fs::read_to_string(&path).expect("read SWF file");
@@ -56,7 +59,9 @@ fn main() {
 
     // 3. Convert and simulate under three schedulers.
     let jobs = predictsim::sim::jobs_from_swf(&log.records).expect("convert records");
-    let cfg = SimConfig { machine_size: machine_size as u32 };
+    let cfg = SimConfig {
+        machine_size: machine_size as u32,
+    };
 
     for triple in [
         HeuristicTriple::standard_easy(),

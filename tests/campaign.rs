@@ -59,8 +59,7 @@ fn campaign_covers_every_triple_exactly_once() {
 fn cross_validation_selects_a_non_clairvoyant_triple_and_reports_rows() {
     let ws = workloads();
     let triples = reduced_triples();
-    let campaigns: Vec<CampaignResult> =
-        ws.iter().map(|w| run_campaign(w, &triples)).collect();
+    let campaigns: Vec<CampaignResult> = ws.iter().map(|w| run_campaign(w, &triples)).collect();
     let outcome = cross_validate(&campaigns);
     assert_eq!(outcome.rows.len(), 3);
     assert!(
@@ -97,7 +96,7 @@ fn campaign_json_artifacts_round_trip() {
 
 #[test]
 fn table_helpers_work_on_reduced_campaigns() {
-    use predictsim::experiments::tables::{render_table1, table1, table8, render_table8};
+    use predictsim::experiments::tables::{render_table1, render_table8, table1, table8};
     let ws = workloads();
     let rows = table1(&ws[..1]);
     assert_eq!(rows.len(), 1);
@@ -113,8 +112,7 @@ fn figure_helpers_work_on_reduced_campaigns() {
     use predictsim::experiments::figures::{fig3, fig4_fig5};
     let ws = workloads();
     let triples = reduced_triples();
-    let campaigns: Vec<CampaignResult> =
-        ws.iter().map(|w| run_campaign(w, &triples)).collect();
+    let campaigns: Vec<CampaignResult> = ws.iter().map(|w| run_campaign(w, &triples)).collect();
     let fig = fig3(&campaigns, "W1", "W2");
     assert_eq!(fig.points.len(), triples.len());
 

@@ -30,6 +30,42 @@ fn learning_simulation_is_reproducible() {
     assert_eq!(a.ave_bsld(), b.ave_bsld());
 }
 
+/// The core contract, stated directly against `simulate`: two runs of
+/// the engine on the same seed-derived workload produce identical
+/// `JobOutcome` vectors — every field of every outcome, not just the
+/// aggregates. Exercises the full prediction + correction path (the
+/// E-Loss learner with SJBF ordering), where hidden nondeterminism
+/// (hash-map iteration, tie-breaking, learner state) would first show up.
+#[test]
+fn simulate_twice_with_same_seed_yields_identical_outcome_vectors() {
+    let mut spec = WorkloadSpec::toy();
+    spec.jobs = 400;
+    spec.duration = 3 * 86_400;
+    let seed = 4242;
+    let run = || {
+        let w = generate(&spec, seed);
+        let mut predictor = MlPredictor::e_loss();
+        let correction = IncrementalCorrection::new();
+        let result = simulate(
+            &w.jobs,
+            w.sim_config(),
+            &mut EasyScheduler::sjbf(),
+            &mut predictor,
+            Some(&correction),
+        )
+        .expect("simulation");
+        (w.jobs.len(), result.outcomes)
+    };
+    let (jobs_a, outcomes_a) = run();
+    let (jobs_b, outcomes_b) = run();
+    assert_eq!(outcomes_a.len(), jobs_a);
+    assert_eq!(jobs_a, jobs_b);
+    assert_eq!(
+        outcomes_a, outcomes_b,
+        "identical seed must yield identical JobOutcome vectors"
+    );
+}
+
 #[test]
 fn different_seeds_change_the_workload() {
     let spec = WorkloadSpec::toy();
@@ -56,7 +92,10 @@ fn parallel_campaign_equals_itself() {
 
 #[test]
 fn experiment_setup_is_the_single_source_of_workloads() {
-    let setup = ExperimentSetup { scale: 0.002, seed: 5 };
+    let setup = ExperimentSetup {
+        scale: 0.002,
+        seed: 5,
+    };
     let a = setup.workloads();
     let b = setup.workloads();
     assert_eq!(a.len(), 6);

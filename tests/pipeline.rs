@@ -29,7 +29,11 @@ fn generated_workload_survives_swf_round_trip_and_simulates_identically() {
     let text = write_log(&w.to_swf());
     let mut log = parse_log(&text).expect("parse exported log");
     let report = swf_helpers::clean_default(&mut log);
-    assert_eq!(report.kept, w.jobs.len(), "cleaning must not drop synthetic jobs");
+    assert_eq!(
+        report.kept,
+        w.jobs.len(),
+        "cleaning must not drop synthetic jobs"
+    );
     let jobs = predictsim::sim::jobs_from_swf(&log.records).expect("conversion");
     let via_swf = HeuristicTriple::standard_easy()
         .run(&jobs, w.sim_config())
@@ -78,7 +82,10 @@ fn bounded_slowdown_matches_manual_computation() {
 #[test]
 fn predictions_are_clamped_to_requested_times() {
     let w = small_workload(4);
-    for triple in [HeuristicTriple::easy_plus_plus(), HeuristicTriple::paper_winner()] {
+    for triple in [
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+    ] {
         let res = triple.run(&w.jobs, w.sim_config()).expect("simulation");
         for o in &res.outcomes {
             assert!(

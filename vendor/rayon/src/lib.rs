@@ -1,0 +1,101 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this crate provides
+//! `par_iter` / `into_par_iter` under rayon's trait names, executing
+//! **sequentially**: the returned "parallel" iterator is the ordinary
+//! iterator, so every adapter chain (`map`, `filter`, `collect`, …)
+//! behaves identically, deterministically, and without any thread pool.
+//!
+//! The workspace's campaign runner only relies on item independence and
+//! order preservation, both of which the sequential fallback satisfies
+//! (rayon's `collect` preserves order too, so swapping the real crate
+//! back in changes performance, not results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits (and nothing else) that `use rayon::prelude::*` imports.
+pub mod prelude {
+    /// `par_iter()` by reference: mirrors
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced (sequential here).
+        type Iter: Iterator<Item = Self::Item>;
+        /// The item type.
+        type Item: 'data;
+
+        /// Returns a (sequential) iterator over `&self`'s elements.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `into_par_iter()` by value: mirrors
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced (sequential here).
+        type Iter: Iterator<Item = Self::Item>;
+        /// The item type.
+        type Item;
+
+        /// Consumes `self`, returning a (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T, const N: usize> IntoParallelIterator for [T; N] {
+        type Iter = std::array::IntoIter<T, N>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let consumed: Vec<i32> = v.into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(consumed, vec![2, 4]);
+    }
+}

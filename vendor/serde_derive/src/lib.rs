@@ -1,0 +1,268 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two item shapes this workspace derives: structs with named fields and
+//! enums whose variants are all unit variants. No `#[serde(...)]`
+//! attributes are supported (none are used in the workspace), and the
+//! token-stream parsing is done by hand — this crate must build with no
+//! dependencies (`syn`/`quote` are unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with only unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input into a [`Shape`].
+///
+/// Grammar handled: any outer attributes and visibility, then
+/// `struct Name { fields }` or `enum Name { variants }`. Generics,
+/// where-clauses, tuple structs and data-carrying enum variants are
+/// rejected with a compile error naming the limitation.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility / other modifiers until
+    // the `struct` / `enum` keyword.
+    let mut kind: Option<&'static str> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` plus the bracketed attribute group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                kind = Some("struct");
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                kind = Some("enum");
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("expected `struct` or `enum`")?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    // Generics are not supported (and not used by the workspace).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("cannot derive for generic type `{name}`"));
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "`{name}` has no braced body (tuple/unit types unsupported)"
+                ))
+            }
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Shape::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        })
+    }
+}
+
+/// Extracts field names from the body of a named-field struct: for each
+/// top-level `ident : type` (at angle-bracket depth 0, commas inside
+/// generics skipped), the ident before the colon.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' if !in_type && angle_depth == 0 => {
+                    i += 1; // skip the attribute's bracket group too
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if !in_type && angle_depth == 0 => {
+                    // A lone `:` ends the field name; `::` (paths) cannot
+                    // appear before the colon in a named field.
+                    let two_colons = matches!(
+                        tokens.get(i + 1),
+                        Some(TokenTree::Punct(q)) if q.as_char() == ':'
+                    );
+                    if two_colons {
+                        i += 1;
+                    } else {
+                        let name = last_ident
+                            .take()
+                            .ok_or("field colon with no preceding name")?;
+                        fields.push(name);
+                        in_type = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type && angle_depth == 0 => {
+                last_ident = Some(id.to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from the body of an enum, requiring every
+/// variant to be a unit variant.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // `#` plus the bracketed attribute group (the trailing
+            // `i += 1` below consumes the group).
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                match tokens.get(i + 1) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "variant `{name}` is not a unit variant (found {other}); \
+                             only unit-variant enums are supported"
+                        ))
+                    }
+                }
+                variants.push(name);
+                i += 1; // consume the comma (or run off the end)
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(\n\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::DeError::unexpected(\n\
+                                 \"string variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
