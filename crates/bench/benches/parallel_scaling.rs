@@ -1,0 +1,40 @@
+//! Scaling of the campaign runner across pool widths: the same reduced
+//! campaign measured at 1, 2, 4, and 8 worker threads. On a
+//! multi-core box the wider runs should approach `t(1)/cores`; the
+//! printed pool stats confirm the parallel path actually engaged.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predictsim_bench::measure_workload;
+use predictsim_experiments::{run_campaign, HeuristicTriple};
+
+fn bench(c: &mut Criterion) {
+    let w = measure_workload();
+    let triples = vec![
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+        HeuristicTriple::clairvoyant(predictsim_experiments::Variant::EasySjbf),
+    ];
+
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.sample_size(10);
+    for width in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("campaign", width), &width, |b, &n| {
+            b.iter(|| {
+                rayon::pool::with_num_threads(n, || {
+                    std::hint::black_box(run_campaign(&w, &triples))
+                })
+            })
+        });
+    }
+    g.finish();
+
+    let stats = rayon::pool::stats();
+    eprintln!(
+        "pool stats: {} bulk ops ({} parallel), {} items, max {} workers in one op",
+        stats.bulk_ops, stats.parallel_ops, stats.items_processed, stats.max_workers_in_one_op
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,6 +19,9 @@
 //!   --full       shorthand for --scale 1.0
 //!   --seed N     workload generation seed (default 20150101)
 //!   --out DIR    also write JSON artifacts (campaigns, figures) to DIR
+//!   --threads N  pin the worker-pool width (default: RAYON_NUM_THREADS
+//!                or the machine's parallelism)
+//!   --timing     record per-phase wall-clock into EXPERIMENTS.md
 //! ```
 
 use std::io::Write as _;
@@ -31,6 +34,7 @@ use predictsim_experiments::figures::{fig3, fig4_fig5, render_ecdf_series, rende
 use predictsim_experiments::tables::{
     render_table1, render_table6, render_table7, render_table8, table1, table6, table7, table8,
 };
+use predictsim_experiments::timing::{record_timing, PhaseTimer};
 use predictsim_experiments::triple::{campaign_triples, reference_triples, HeuristicTriple};
 use predictsim_workload::GeneratedWorkload;
 
@@ -38,6 +42,8 @@ struct Options {
     setup: ExperimentSetup,
     out_dir: Option<std::path::PathBuf>,
     experiments: Vec<String>,
+    threads: Option<usize>,
+    timing: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +53,8 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut out_dir = None;
     let mut experiments = Vec::new();
+    let mut threads = None;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +72,15 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or("--out needs a directory")?,
                 ));
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            "--timing" => timing = true,
             "--help" | "-h" => {
                 experiments.clear();
                 experiments.push("help".into());
@@ -71,6 +88,8 @@ fn parse_args() -> Result<Options, String> {
                     setup,
                     out_dir,
                     experiments,
+                    threads,
+                    timing,
                 });
             }
             other if !other.starts_with('-') => experiments.push(other.to_string()),
@@ -84,6 +103,8 @@ fn parse_args() -> Result<Options, String> {
         setup,
         out_dir,
         experiments,
+        threads,
+        timing,
     })
 }
 
@@ -131,16 +152,25 @@ fn main() {
         print!("{USAGE}");
         return;
     }
+    match opts.threads {
+        // The override is thread-local; every fan-out in `run` starts
+        // from this thread, so the whole pipeline inherits the width.
+        Some(n) => rayon::pool::with_num_threads(n, || run(&opts)),
+        None => run(&opts),
+    }
+}
 
+fn run(opts: &Options) {
     let wants = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
     let needs_campaigns = wants("table6") || wants("table7") || wants("fig3");
+    let threads = rayon::current_num_threads();
 
     println!(
-        "# predictsim repro — scale {}, seed {}\n",
-        opts.setup.scale, opts.setup.seed
+        "# predictsim repro — scale {}, seed {}, {} pool thread(s)\n",
+        opts.setup.scale, opts.setup.seed, threads
     );
-    let t0 = Instant::now();
-    let workloads = opts.setup.workloads();
+    let mut timer = PhaseTimer::new();
+    let workloads = timer.time("workload generation", || opts.setup.workloads());
     for w in &workloads {
         eprintln!(
             "  generated {}: {} jobs, m={}, offered util {:.2}",
@@ -153,7 +183,7 @@ fn main() {
 
     if wants("table1") {
         println!("## Table 1 — EASY vs EASY-Clairvoyant (§2.2)\n");
-        let rows = table1(&workloads);
+        let rows = timer.time("table1", || table1(&workloads));
         println!("{}", render_table1(&rows));
         write_json(&opts.out_dir, "table1.json", &rows);
     }
@@ -163,7 +193,7 @@ fn main() {
             "running campaigns ({} sims/log)...",
             campaign_triples().len() + 2
         );
-        let cs = campaigns(&workloads);
+        let cs = timer.time("campaigns", || campaigns(&workloads));
         write_json(&opts.out_dir, "campaigns.json", &cs);
         Some(cs)
     } else {
@@ -173,7 +203,7 @@ fn main() {
     if wants("table6") {
         let cs = campaign_results.as_ref().expect("campaigns computed");
         println!("## Table 6 — AVEbsld overview (§6.3.1)\n");
-        let rows = table6(cs);
+        let rows = timer.time("table6", || table6(cs));
         println!("{}", render_table6(&rows));
         write_json(&opts.out_dir, "table6.json", &rows);
     }
@@ -181,7 +211,7 @@ fn main() {
     if wants("table7") {
         let cs = campaign_results.as_ref().expect("campaigns computed");
         println!("## Table 7 — cross-validated triple selection (§6.3.3)\n");
-        let outcome = table7(cs);
+        let outcome = timer.time("table7 (cross-validation)", || table7(cs));
         println!("{}", render_table7(&outcome));
         write_json(&opts.out_dir, "table7.json", &outcome);
     }
@@ -189,7 +219,7 @@ fn main() {
     if wants("fig3") {
         let cs = campaign_results.as_ref().expect("campaigns computed");
         println!("## Figure 3 — inter-log correlation (§6.3.2)\n");
-        let fig = fig3(cs, "Metacentrum", "SDSC-BLUE");
+        let fig = timer.time("fig3", || fig3(cs, "Metacentrum", "SDSC-BLUE"));
         println!("{}", render_fig3(&fig));
         write_json(&opts.out_dir, "fig3.json", &fig);
     }
@@ -201,12 +231,12 @@ fn main() {
             .expect("Curie preset present");
         if wants("table8") {
             println!("## Table 8 — MAE vs mean E-Loss on {} (§6.4)\n", curie.name);
-            let rows = table8(curie);
+            let rows = timer.time("table8", || table8(curie));
             println!("{}", render_table8(&rows));
             write_json(&opts.out_dir, "table8.json", &rows);
         }
         if wants("fig4") || wants("fig5") {
-            let fig = fig4_fig5(curie, 193);
+            let fig = timer.time("fig4+fig5", || fig4_fig5(curie, 193));
             if wants("fig4") {
                 println!(
                     "## Figure 4 — ECDF of prediction errors on {} (§6.4)\n",
@@ -228,16 +258,19 @@ fn main() {
     if wants("ablation") {
         let w = workloads.first().expect("at least one workload");
         println!("## Ablations (on {})\n", w.name);
-        for (title, rows) in [
-            ("Scheduler (clairvoyant)", ablation::ablate_scheduler(w)),
-            (
-                "Correction mechanism (E-Loss learner)",
-                ablation::ablate_correction(w),
-            ),
-            ("Optimizer", ablation::ablate_optimizer(w)),
-            ("Basis degree", ablation::ablate_basis(w)),
-            ("Loss shape x weighting", ablation::ablate_loss(w)),
-        ] {
+        let ablations = timer.time("ablations", || {
+            [
+                ("Scheduler (clairvoyant)", ablation::ablate_scheduler(w)),
+                (
+                    "Correction mechanism (E-Loss learner)",
+                    ablation::ablate_correction(w),
+                ),
+                ("Optimizer", ablation::ablate_optimizer(w)),
+                ("Basis degree", ablation::ablate_basis(w)),
+                ("Loss shape x weighting", ablation::ablate_loss(w)),
+            ]
+        });
+        for (title, rows) in ablations {
             println!("{}", ablation::render_ablation(title, &rows));
             write_json(
                 &opts.out_dir,
@@ -269,7 +302,31 @@ fn main() {
         );
     }
 
-    eprintln!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("\ntotal wall time: {:.1}s", timer.total());
+    if opts.timing {
+        let experiments = opts.experiments.join(" ");
+        let section =
+            timer.render_markdown(opts.setup.scale, opts.setup.seed, threads, &experiments);
+        // Only a full `all` run may replace the recorded section — a
+        // partial run would overwrite the committed full-pipeline
+        // numbers with a table missing most phases.
+        if !wants("all") {
+            eprintln!("--timing: partial run ({experiments}); printing instead of updating EXPERIMENTS.md");
+            println!("{section}");
+            return;
+        }
+        let path = std::path::Path::new("EXPERIMENTS.md");
+        match record_timing(path, &section) {
+            Ok(()) => eprintln!("recorded per-phase timing into {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "could not update {} ({e}); timing section follows:",
+                    path.display()
+                );
+                println!("{section}");
+            }
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -293,4 +350,7 @@ OPTIONS
   --full       shorthand for --scale 1.0
   --seed N     workload generation seed (default 20150101)
   --out DIR    also write JSON artifacts to DIR
+  --threads N  pin the worker-pool width (default: RAYON_NUM_THREADS or
+               the machine's parallelism); results are identical at any N
+  --timing     record per-phase wall-clock into ./EXPERIMENTS.md
 ";

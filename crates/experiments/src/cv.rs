@@ -7,6 +7,7 @@
 //! selection on the held-out log — repeated six times. Table 7 reports
 //! the resulting AVEbsld and its reduction relative to EASY and EASY++.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::CampaignResult;
@@ -135,6 +136,9 @@ pub fn select_triple(campaigns: &[CampaignResult], exclude: usize) -> String {
 
 /// Leave-one-out cross-validation over one campaign per log (§6.3.3).
 ///
+/// The per-held-out-log selections are independent, so the folds run in
+/// parallel (order-preserving, deterministic — see `vendor/rayon`).
+///
 /// # Panics
 ///
 /// Panics if the campaigns do not all contain the EASY and EASY++
@@ -142,10 +146,10 @@ pub fn select_triple(campaigns: &[CampaignResult], exclude: usize) -> String {
 pub fn cross_validate(campaigns: &[CampaignResult]) -> CvOutcome {
     let easy_name = HeuristicTriple::standard_easy().name();
     let easypp_name = HeuristicTriple::easy_plus_plus().name();
-    let rows = campaigns
-        .iter()
-        .enumerate()
-        .map(|(i, held_out)| {
+    let rows = (0..campaigns.len())
+        .into_par_iter()
+        .map(|i| {
+            let held_out = &campaigns[i];
             let selected = select_triple(campaigns, i);
             CvRow {
                 log: held_out.log.clone(),

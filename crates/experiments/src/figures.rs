@@ -4,6 +4,7 @@
 //! scatter points); the repro binary also renders coarse ASCII plots so
 //! the shapes can be eyeballed in a terminal.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use predictsim_metrics::pearson::pairwise_correlation_summary;
@@ -154,29 +155,28 @@ fn run_technique(
 /// The four prediction techniques match the paper's legends: the E-Loss
 /// learner, the user-requested time, a plain squared-loss learner, and
 /// AVE₂; Figure 5 adds the actual running times as the reference
-/// distribution.
+/// distribution. The four simulations are independent and run in
+/// parallel (order-preserving).
 pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
-    let runs = [
-        run_technique(
-            workload,
+    let techniques = [
+        (
             "E-Loss Regression",
             PredictionTechnique::Ml(MlConfig::e_loss()),
         ),
-        run_technique(
-            workload,
-            "Requested Time",
-            PredictionTechnique::RequestedTime,
-        ),
-        run_technique(
-            workload,
+        ("Requested Time", PredictionTechnique::RequestedTime),
+        (
             "Squared Loss Regression",
             PredictionTechnique::Ml(MlConfig::new(
                 AsymmetricLoss::SQUARED,
                 WeightingScheme::Constant,
             )),
         ),
-        run_technique(workload, "AVE2(k)", PredictionTechnique::Ave2),
+        ("AVE2(k)", PredictionTechnique::Ave2),
     ];
+    let runs: Vec<(String, SimResult)> = techniques
+        .into_par_iter()
+        .map(|(label, prediction)| run_technique(workload, label, prediction))
+        .collect();
 
     // Figure 4: signed prediction error in hours, over [-24h, +24h].
     let error_series = runs

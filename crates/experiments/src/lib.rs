@@ -11,7 +11,13 @@
 //! * [`ablation`] — additional ablations (scheduler, correction,
 //!   optimizer, basis, loss shape);
 //! * [`context`] — workload setup shared by the `repro` binary, tests
-//!   and benches.
+//!   and benches;
+//! * [`timing`] — per-phase wall-clock accounting for `repro --timing`.
+//!
+//! Every fan-out site (campaign triples, CV folds, ablation grids,
+//! per-log table loops, figure simulations) runs on the `vendor/rayon`
+//! thread pool; `RAYON_NUM_THREADS` (or `repro --threads N`) pins the
+//! width, and results are bit-identical at any width.
 //!
 //! The `repro` binary regenerates any table or figure:
 //!
@@ -30,6 +36,7 @@ pub mod context;
 pub mod cv;
 pub mod figures;
 pub mod tables;
+pub mod timing;
 pub mod triple;
 
 pub use campaign::{run_campaign, CampaignResult, TripleResult};

@@ -5,6 +5,7 @@
 //! workloads are synthetic stand-ins — DESIGN.md §3); the *shape* claims
 //! are what EXPERIMENTS.md tracks.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use predictsim_core::{mae_of_outcomes, mean_eloss_of_outcomes};
@@ -35,9 +36,12 @@ impl Table1Row {
 
 /// Table 1: the motivation experiment (§2.2) — perfect information
 /// improves EASY on every log.
+///
+/// The per-log pairs of simulations are independent and fan out in
+/// parallel.
 pub fn table1(workloads: &[GeneratedWorkload]) -> Vec<Table1Row> {
     workloads
-        .iter()
+        .par_iter()
         .map(|w| {
             let cfg = SimConfig {
                 machine_size: w.machine_size,
@@ -199,7 +203,8 @@ pub struct Table8Row {
 }
 
 /// Computes Table 8 on `workload` by replaying the EASY-SJBF +
-/// Incremental triple with each prediction technique.
+/// Incremental triple with each prediction technique (both simulations
+/// in parallel).
 pub fn table8(workload: &GeneratedWorkload) -> Vec<Table8Row> {
     let cfg = SimConfig {
         machine_size: workload.machine_size,
@@ -215,7 +220,7 @@ pub fn table8(workload: &GeneratedWorkload) -> Vec<Table8Row> {
         ),
         ("E-Loss learning", HeuristicTriple::paper_winner()),
     ]
-    .into_iter()
+    .into_par_iter()
     .map(|(label, triple)| {
         let sim = triple
             .run(&workload.jobs, cfg)

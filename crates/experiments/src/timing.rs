@@ -1,0 +1,162 @@
+//! Wall-clock accounting for `repro --timing`: per-phase timers plus
+//! the machinery that records the rendered table into `EXPERIMENTS.md`
+//! between stable markers (so repeated runs replace, not append).
+
+use std::time::Instant;
+
+/// Marker opening the generated timing section in `EXPERIMENTS.md`.
+pub const TIMING_BEGIN: &str = "<!-- repro:timing:begin -->";
+/// Marker closing the generated timing section in `EXPERIMENTS.md`.
+pub const TIMING_END: &str = "<!-- repro:timing:end -->";
+
+/// Accumulates named phase durations for one `repro` run.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    started: Instant,
+    phases: Vec<(String, f64)>,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// Starts the run clock.
+    pub fn new() -> Self {
+        PhaseTimer {
+            started: Instant::now(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock under `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let result = f();
+        self.phases
+            .push((name.to_string(), t0.elapsed().as_secs_f64()));
+        result
+    }
+
+    /// The recorded `(phase, seconds)` pairs, in execution order.
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
+    /// Seconds since the timer was created.
+    pub fn total(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Renders the timing section recorded into `EXPERIMENTS.md`:
+    /// a heading, the run configuration (including which experiments
+    /// ran, so a partial run can never masquerade as a full one), and
+    /// one row per phase.
+    pub fn render_markdown(
+        &self,
+        scale: f64,
+        seed: u64,
+        threads: usize,
+        experiments: &str,
+    ) -> String {
+        let mut out = format!(
+            "## Timing (`repro --timing`)\n\n\
+             Configuration: scale {scale}, seed {seed}, {threads} pool thread{}, \
+             experiments: {experiments}.\n\n\
+             | phase | wall-clock (s) |\n|---|---|\n",
+            if threads == 1 { "" } else { "s" },
+        );
+        for (name, secs) in &self.phases {
+            out.push_str(&format!("| {name} | {secs:.2} |\n"));
+        }
+        out.push_str(&format!("| **total** | **{:.2}** |\n", self.total()));
+        out
+    }
+}
+
+/// Replaces the marked timing section of `document` with `section`
+/// (appending markers and section at the end when absent). Pure string
+/// surgery so it is directly testable.
+pub fn splice_timing_section(document: &str, section: &str) -> String {
+    let block = format!("{TIMING_BEGIN}\n{section}{TIMING_END}");
+    match (document.find(TIMING_BEGIN), document.find(TIMING_END)) {
+        (Some(begin), Some(end)) if end >= begin => {
+            let after = end + TIMING_END.len();
+            format!("{}{}{}", &document[..begin], block, &document[after..])
+        }
+        _ => {
+            let sep = if document.ends_with('\n') {
+                "\n"
+            } else {
+                "\n\n"
+            };
+            format!("{document}{sep}{block}\n")
+        }
+    }
+}
+
+/// Rewrites `path` with its timing section replaced by `section`.
+pub fn record_timing(path: &std::path::Path, section: &str) -> std::io::Result<()> {
+    let document = std::fs::read_to_string(path)?;
+    std::fs::write(path, splice_timing_section(&document, section))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_phases_in_order() {
+        let mut t = PhaseTimer::new();
+        let x = t.time("alpha", || 2 + 2);
+        assert_eq!(x, 4);
+        t.time("beta", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        let names: Vec<&str> = t.phases().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert!(t.phases()[1].1 > 0.0);
+        assert!(t.total() >= t.phases()[1].1);
+    }
+
+    #[test]
+    fn render_contains_config_and_rows() {
+        let mut t = PhaseTimer::new();
+        t.time("campaigns", || ());
+        let md = t.render_markdown(0.05, 20150101, 8, "all");
+        assert!(md.contains("scale 0.05, seed 20150101, 8 pool threads"));
+        assert!(md.contains("experiments: all"));
+        assert!(md.contains("| campaigns |"));
+        assert!(md.contains("**total**"));
+    }
+
+    #[test]
+    fn splice_appends_when_absent_then_replaces() {
+        let doc = "# EXPERIMENTS\n\nbody\n";
+        let first = splice_timing_section(doc, "SECTION-A\n");
+        assert!(first.contains("body"));
+        assert!(first.contains("SECTION-A"));
+        assert_eq!(first.matches(TIMING_BEGIN).count(), 1);
+
+        let second = splice_timing_section(&first, "SECTION-B\n");
+        assert!(
+            !second.contains("SECTION-A"),
+            "old section must be replaced"
+        );
+        assert!(second.contains("SECTION-B"));
+        assert_eq!(second.matches(TIMING_BEGIN).count(), 1);
+        assert!(second.contains("body"), "surrounding document is preserved");
+    }
+
+    #[test]
+    fn splice_tolerates_markers_with_surrounding_edits() {
+        let doc = format!("head\n{TIMING_BEGIN}\nstale\n{TIMING_END}\ntail\n");
+        let out = splice_timing_section(&doc, "fresh\n");
+        assert!(out.starts_with("head\n"));
+        assert!(out.ends_with("tail\n"));
+        assert!(out.contains("fresh"));
+        assert!(!out.contains("stale"));
+    }
+}

@@ -90,6 +90,71 @@ fn parallel_campaign_equals_itself() {
     assert_eq!(a, b, "rayon parallelism must not leak into results");
 }
 
+/// The determinism-under-parallelism stress test: the same campaign at
+/// pool widths 1, 2, and 8 must serialize to **byte-identical**
+/// `CampaignResult` JSON. Order-preserving collect plus per-simulation
+/// isolation make the width unobservable in the artifact.
+#[test]
+fn campaign_json_is_byte_identical_across_thread_counts() {
+    let mut spec = WorkloadSpec::toy();
+    spec.jobs = 350;
+    spec.duration = 3 * 86_400;
+    spec.utilization = 0.85;
+    let w = generate(&spec, 20150101);
+    let triples = vec![
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+        HeuristicTriple::clairvoyant(Variant::Easy),
+        HeuristicTriple::clairvoyant(Variant::EasySjbf),
+    ];
+    let json_at = |width: usize| {
+        rayon::pool::with_num_threads(width, || {
+            serde_json::to_string(&run_campaign(&w, &triples)).expect("serialize campaign")
+        })
+    };
+    let single = json_at(1);
+    let dual = json_at(2);
+    let octo = json_at(8);
+    assert!(
+        single == dual && single == octo,
+        "campaign JSON must not depend on the pool width"
+    );
+}
+
+/// Same stress, one level up: a full cross-validation over three logs
+/// must be byte-identical at widths 1, 2, and 8 — the nested fan-outs
+/// (campaign triples, then CV folds) both preserve order.
+#[test]
+fn cross_validation_json_is_byte_identical_across_thread_counts() {
+    let workloads: Vec<GeneratedWorkload> = (0..3)
+        .map(|i| {
+            let mut spec = WorkloadSpec::toy();
+            spec.name = format!("D{i}");
+            spec.jobs = 220;
+            spec.duration = 3 * 86_400;
+            generate(&spec, 300 + i)
+        })
+        .collect();
+    let triples = vec![
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::easy_plus_plus(),
+        HeuristicTriple::paper_winner(),
+    ];
+    let json_at = |width: usize| {
+        rayon::pool::with_num_threads(width, || {
+            let campaigns: Vec<_> = workloads
+                .iter()
+                .map(|w| run_campaign(w, &triples))
+                .collect();
+            serde_json::to_string(&cross_validate(&campaigns)).expect("serialize CV outcome")
+        })
+    };
+    let single = json_at(1);
+    assert_eq!(single, json_at(2));
+    assert_eq!(single, json_at(8));
+}
+
 #[test]
 fn experiment_setup_is_the_single_source_of_workloads() {
     let setup = ExperimentSetup {

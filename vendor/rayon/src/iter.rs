@@ -1,0 +1,207 @@
+//! Parallel iterators: the `par_iter()` / `into_par_iter()` adapter
+//! chains executed by [`crate::pool`].
+//!
+//! A [`ParIter`] owns the materialized source items plus a composed
+//! per-item pipeline ([`Pipe`]): `map` and `filter` only stack another
+//! stage onto the pipeline, and the terminal operations (`collect`,
+//! `for_each`, `sum`, `count`) hand the items and the fused pipeline to
+//! [`pool::run`], which applies the whole chain to each item on a
+//! worker thread. Output order always matches input order, exactly like
+//! real rayon's indexed `collect`.
+
+use crate::pool;
+
+/// A fused per-item pipeline stage: applies the chain built so far to
+/// one source item, returning `None` when a `filter` dropped it.
+pub trait Pipe<I>: Sync {
+    /// The pipeline's output item type.
+    type Out: Send;
+
+    /// Runs the pipeline on one source item.
+    fn apply(&self, input: I) -> Option<Self::Out>;
+}
+
+/// The empty pipeline at the head of every chain.
+pub struct Identity;
+
+impl<I: Send> Pipe<I> for Identity {
+    type Out = I;
+
+    #[inline]
+    fn apply(&self, input: I) -> Option<I> {
+        Some(input)
+    }
+}
+
+/// Pipeline stage added by [`ParIter::map`].
+pub struct MapPipe<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<I, O, P, F> Pipe<I> for MapPipe<P, F>
+where
+    O: Send,
+    P: Pipe<I>,
+    F: Fn(P::Out) -> O + Sync,
+{
+    type Out = O;
+
+    #[inline]
+    fn apply(&self, input: I) -> Option<O> {
+        self.inner.apply(input).map(&self.f)
+    }
+}
+
+/// Pipeline stage added by [`ParIter::filter`].
+pub struct FilterPipe<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<I, P, F> Pipe<I> for FilterPipe<P, F>
+where
+    P: Pipe<I>,
+    F: Fn(&P::Out) -> bool + Sync,
+{
+    type Out = P::Out;
+
+    #[inline]
+    fn apply(&self, input: I) -> Option<P::Out> {
+        self.inner.apply(input).filter(|x| (self.f)(x))
+    }
+}
+
+/// A parallel iterator: materialized source items plus the fused
+/// adapter pipeline to run on each.
+pub struct ParIter<I, P = Identity> {
+    items: Vec<I>,
+    pipe: P,
+}
+
+impl<I: Send> ParIter<I, Identity> {
+    pub(crate) fn new(items: Vec<I>) -> Self {
+        ParIter {
+            items,
+            pipe: Identity,
+        }
+    }
+}
+
+impl<I, P> ParIter<I, P>
+where
+    I: Send,
+    P: Pipe<I>,
+{
+    /// Transforms each item with `f`, in parallel at the terminal
+    /// operation.
+    pub fn map<O, F>(self, f: F) -> ParIter<I, MapPipe<P, F>>
+    where
+        O: Send,
+        F: Fn(P::Out) -> O + Sync,
+    {
+        ParIter {
+            items: self.items,
+            pipe: MapPipe {
+                inner: self.pipe,
+                f,
+            },
+        }
+    }
+
+    /// Keeps only the items `predicate` accepts.
+    pub fn filter<F>(self, predicate: F) -> ParIter<I, FilterPipe<P, F>>
+    where
+        F: Fn(&P::Out) -> bool + Sync,
+    {
+        ParIter {
+            items: self.items,
+            pipe: FilterPipe {
+                inner: self.pipe,
+                f: predicate,
+            },
+        }
+    }
+
+    /// Executes the pipeline over the pool, preserving input order.
+    fn run(self) -> Vec<P::Out> {
+        let ParIter { items, pipe } = self;
+        pool::run(items, |item| pipe.apply(item))
+    }
+
+    /// Executes in parallel and collects into `C` in input order.
+    pub fn collect<C: FromIterator<P::Out>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Executes `f` on every output item (no ordering guarantee between
+    /// workers, exactly like rayon's `for_each`); outputs are discarded,
+    /// so no result channel or reassembly is paid for.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Out) + Sync,
+    {
+        let ParIter { items, pipe } = self;
+        pool::run_discard(items, |item| {
+            if let Some(out) = pipe.apply(item) {
+                f(out);
+            }
+        });
+    }
+
+    /// Number of items surviving the pipeline (unordered tally — no
+    /// result buffering).
+    pub fn count(self) -> usize {
+        let survivors = std::sync::atomic::AtomicUsize::new(0);
+        let ParIter { items, pipe } = self;
+        pool::run_discard(items, |item| {
+            if pipe.apply(item).is_some() {
+                survivors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        survivors.into_inner()
+    }
+
+    /// Sums the output items.
+    pub fn sum<S: std::iter::Sum<P::Out>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_filter_chain_preserves_order() {
+        let out: Vec<u32> = crate::pool::with_num_threads(4, || {
+            (0..100usize)
+                .into_par_iter()
+                .map(|x| x as u32 * 2)
+                .filter(|x| x % 3 != 0)
+                .map(|x| x + 1)
+                .collect()
+        });
+        let expected: Vec<u32> = (0..100u32)
+            .map(|x| x * 2)
+            .filter(|x| x % 3 != 0)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sum_count_and_for_each_terminals() {
+        crate::pool::with_num_threads(3, || {
+            let v: Vec<u64> = (1..=100).collect();
+            let total: u64 = v.par_iter().map(|&x| x).sum();
+            assert_eq!(total, 5050);
+            assert_eq!(v.par_iter().filter(|&&x| x % 2 == 0).count(), 50);
+            let hits = std::sync::atomic::AtomicU64::new(0);
+            v.par_iter().for_each(|&x| {
+                hits.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 5050);
+        });
+    }
+}

@@ -1,87 +1,110 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with a real thread pool.
 //!
 //! The build environment has no network access, so this crate provides
-//! `par_iter` / `into_par_iter` under rayon's trait names, executing
-//! **sequentially**: the returned "parallel" iterator is the ordinary
-//! iterator, so every adapter chain (`map`, `filter`, `collect`, …)
-//! behaves identically, deterministically, and without any thread pool.
+//! the parallel-iterator subset the workspace uses (`par_iter`,
+//! `into_par_iter`, `map`, `filter`, `collect`, `for_each`, `sum`,
+//! `count`) under rayon's trait names, executed **in parallel** by the
+//! pool in [`pool`]:
 //!
-//! The workspace's campaign runner only relies on item independence and
-//! order preservation, both of which the sequential fallback satisfies
-//! (rayon's `collect` preserves order too, so swapping the real crate
-//! back in changes performance, not results).
+//! * the pool width comes from `RAYON_NUM_THREADS` (0/unset → machine
+//!   parallelism), with a scoped per-thread override
+//!   ([`pool::with_num_threads`]) for tests and `repro --threads N`;
+//! * workers claim chunks of indexed items from a shared queue, so
+//!   uneven item costs (simulations spanning orders of magnitude) load-
+//!   balance dynamically;
+//! * `collect` is order-preserving: outputs are reassembled by input
+//!   index, so results are bit-identical to a sequential run at any
+//!   thread count;
+//! * a panic on any item aborts the bulk operation and resurfaces on
+//!   the calling thread with the original payload;
+//! * the crate stays `forbid(unsafe_code)` — worker threads are scoped
+//!   ([`std::thread::scope`]) rather than detached, because safely
+//!   running borrowed closures on `'static` pool threads is exactly the
+//!   part of real rayon that requires `unsafe`. The global [`pool`]
+//!   owns configuration and accounting; scoped workers do the running.
+//!
+//! Swapping the real crate back in changes performance characteristics,
+//! not results: the campaign runner relies only on item independence
+//! and order preservation, which both implementations guarantee.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, PoolStats};
+
 /// The traits (and nothing else) that `use rayon::prelude::*` imports.
 pub mod prelude {
+    use crate::iter::{Identity, ParIter};
+
     /// `par_iter()` by reference: mirrors
     /// `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type produced (sequential here).
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel iterator type produced.
+        type Iter;
         /// The item type.
         type Item: 'data;
 
-        /// Returns a (sequential) iterator over `&self`'s elements.
+        /// Returns a parallel iterator over `&self`'s elements.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = ParIter<&'data T, Identity>;
         type Item = &'data T;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParIter::new(self.iter().collect())
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = ParIter<&'data T, Identity>;
         type Item = &'data T;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.as_slice().iter()
+            ParIter::new(self.as_slice().iter().collect())
         }
     }
 
     /// `into_par_iter()` by value: mirrors
     /// `rayon::iter::IntoParallelIterator`.
     pub trait IntoParallelIterator {
-        /// The iterator type produced (sequential here).
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel iterator type produced.
+        type Iter;
         /// The item type.
         type Item;
 
-        /// Consumes `self`, returning a (sequential) iterator.
+        /// Consumes `self`, returning a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = ParIter<T, Identity>;
         type Item = T;
 
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            ParIter::new(self)
         }
     }
 
-    impl<T, const N: usize> IntoParallelIterator for [T; N] {
-        type Iter = std::array::IntoIter<T, N>;
+    impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+        type Iter = ParIter<T, Identity>;
         type Item = T;
 
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            ParIter::new(self.into_iter().collect())
         }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
+        type Iter = ParIter<usize, Identity>;
         type Item = usize;
 
         fn into_par_iter(self) -> Self::Iter {
-            self
+            ParIter::new(self.collect())
         }
     }
 }

@@ -1,0 +1,353 @@
+//! The execution core: a global, lazily-initialized worker pool.
+//!
+//! # Design
+//!
+//! The crate is `forbid(unsafe_code)`, which rules out real rayon's
+//! work-stealing deque of borrowed tasks (its lifetime erasure is
+//! `unsafe`). The safe equivalent used here:
+//!
+//! * A global [`struct@Pool`] — created on first use — owns the
+//!   configured width (`RAYON_NUM_THREADS` or
+//!   [`std::thread::available_parallelism`]) and the accounting
+//!   counters behind [`stats`].
+//! * Each bulk operation ([`run`]) spawns up to `width` workers through
+//!   [`std::thread::scope`], whose compiler-checked borrowing replaces
+//!   the `unsafe` lifetime erasure. Workers *share* work dynamically:
+//!   they claim chunks of indexed items from a mutex-guarded queue (the
+//!   claim is O(chunk), the work itself runs unlocked), so an uneven
+//!   item — one slow simulation among quick ones — never serializes the
+//!   rest of the batch behind it.
+//! * Results travel back as `(index, value)` pairs over a channel and
+//!   are reassembled in input order, so `collect` is order-preserving
+//!   and bit-identical to the sequential execution.
+//! * A panicking item sets a stop flag (workers drain no further
+//!   chunks), and the **original** panic payload is re-raised on the
+//!   calling thread once every worker has parked.
+//!
+//! With a width of 1 (e.g. `RAYON_NUM_THREADS=1` in CI) no threads are
+//! spawned at all: the operation runs inline on the caller.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+
+/// The global pool: configuration plus cumulative accounting.
+struct Pool {
+    /// Worker count for bulk operations (≥ 1).
+    width: usize,
+    /// Bulk operations executed (parallel or inline).
+    bulk_ops: AtomicU64,
+    /// Bulk operations that took the multi-worker path.
+    parallel_ops: AtomicU64,
+    /// Total items pushed through bulk operations.
+    items_processed: AtomicU64,
+    /// Largest number of workers that each processed ≥ 1 item within a
+    /// single bulk operation (the observable "pool size" probe).
+    max_workers_in_one_op: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Scoped width override installed by [`with_num_threads`].
+    static WIDTH_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Reads `RAYON_NUM_THREADS`; like real rayon, `0`, unset, or an
+/// unparsable value all mean "use the machine's parallelism".
+fn configured_width() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        width: configured_width(),
+        bulk_ops: AtomicU64::new(0),
+        parallel_ops: AtomicU64::new(0),
+        items_processed: AtomicU64::new(0),
+        max_workers_in_one_op: AtomicUsize::new(0),
+    })
+}
+
+/// The worker count bulk operations started from this thread will use:
+/// the innermost [`with_num_threads`] override, else the global width.
+pub fn current_num_threads() -> usize {
+    WIDTH_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(|| pool().width)
+}
+
+/// Runs `f` with bulk operations *started from this thread* limited to
+/// `num_threads` workers, restoring the previous setting afterwards
+/// (also on panic). Nested calls shadow outer ones.
+///
+/// This is the hook tests and the `repro --threads N` flag use to pin
+/// an execution width without touching the process environment; it
+/// deliberately does not affect operations started from other threads.
+///
+/// # Panics
+///
+/// Panics if `num_threads` is zero.
+pub fn with_num_threads<R>(num_threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(num_threads > 0, "thread count must be at least 1");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WIDTH_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WIDTH_OVERRIDE.with(|c| c.replace(Some(num_threads))));
+    f()
+}
+
+/// A snapshot of the pool's cumulative accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Bulk operations executed (parallel or inline).
+    pub bulk_ops: u64,
+    /// Bulk operations that took the multi-worker path.
+    pub parallel_ops: u64,
+    /// Total items pushed through bulk operations.
+    pub items_processed: u64,
+    /// Largest number of OS worker threads that each processed at least
+    /// one item within a single bulk operation since process start.
+    pub max_workers_in_one_op: usize,
+}
+
+/// Reads the pool's cumulative counters (used by the parallelism probe
+/// tests and `repro --timing`).
+pub fn stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        bulk_ops: p.bulk_ops.load(Ordering::Relaxed),
+        parallel_ops: p.parallel_ops.load(Ordering::Relaxed),
+        items_processed: p.items_processed.load(Ordering::Relaxed),
+        max_workers_in_one_op: p.max_workers_in_one_op.load(Ordering::Relaxed),
+    }
+}
+
+/// The shared fan-out skeleton: spawns `workers` scoped threads that
+/// claim indexed chunks from a queue and call `each` on every item.
+/// Handles the stop flag, panic capture/propagation (original payload),
+/// worker accounting, and width propagation into the workers (so any
+/// *nested* bulk operation a worker starts inherits the caller's
+/// pinned width instead of silently reverting to the global default).
+fn dispatch<I, E>(items: Vec<I>, width: usize, workers: usize, each: E)
+where
+    I: Send,
+    E: Fn(usize, I) + Sync,
+{
+    let n = items.len();
+    // Small chunks keep the load balanced when item costs are uneven
+    // (simulations differ by orders of magnitude across triples); the
+    // mutex-guarded claim is negligible next to any real item.
+    let chunk = (n / (workers * 4)).max(1);
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let stop = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let participants = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (queue, stop, panic_payload, participants, each) =
+                (&queue, &stop, &panic_payload, &participants, &each);
+            s.spawn(move || {
+                WIDTH_OVERRIDE.with(|c| c.set(Some(width)));
+                let mut counted = false;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let batch: Vec<(usize, I)> = {
+                        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                        q.by_ref().take(chunk).collect()
+                    };
+                    if batch.is_empty() {
+                        return;
+                    }
+                    if !counted {
+                        counted = true;
+                        participants.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for (index, item) in batch {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| each(index, item))) {
+                            stop.store(true, Ordering::Relaxed);
+                            let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    pool()
+        .max_workers_in_one_op
+        .fetch_max(participants.load(Ordering::Relaxed), Ordering::Relaxed);
+
+    let first_panic = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Records a bulk operation of `n` items in the stats and returns the
+/// `(width, workers)` pair to run it with.
+fn account(n: usize) -> (usize, usize) {
+    let p = pool();
+    p.bulk_ops.fetch_add(1, Ordering::Relaxed);
+    p.items_processed.fetch_add(n as u64, Ordering::Relaxed);
+    let width = current_num_threads();
+    let workers = width.min(n);
+    if workers > 1 {
+        p.parallel_ops.fetch_add(1, Ordering::Relaxed);
+    }
+    (width, workers)
+}
+
+/// Applies `apply` to every item, in parallel across the pool's width,
+/// returning the `Some` outputs **in input order** (`None` outputs are
+/// filtered, which is how `filter` stages drop items).
+///
+/// # Panics
+///
+/// If `apply` panics on any item, the whole operation panics on the
+/// calling thread with the original payload; remaining unclaimed items
+/// are abandoned (workers observe a stop flag before claiming more).
+pub(crate) fn run<I, R, F>(items: Vec<I>, apply: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> Option<R> + Sync,
+{
+    let n = items.len();
+    let (width, workers) = account(n);
+    if workers <= 1 {
+        return items.into_iter().filter_map(apply).collect();
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, Option<R>)>();
+    dispatch(items, width, workers, |index, item| {
+        // The receiver outlives the dispatch, so a send cannot fail.
+        let _ = tx.send((index, apply(item)));
+    });
+    drop(tx);
+
+    let mut indexed: Vec<(usize, Option<R>)> = rx.into_iter().collect();
+    assert_eq!(
+        indexed.len(),
+        n,
+        "every item must be processed exactly once"
+    );
+    indexed.sort_unstable_by_key(|&(index, _)| index);
+    indexed.into_iter().filter_map(|(_, out)| out).collect()
+}
+
+/// Like [`run`] but discards outputs: no result channel, no buffering,
+/// no reassembly — the cheap path for `for_each`/`count`-style
+/// terminals that don't need ordered results. Same panic semantics.
+pub(crate) fn run_discard<I, F>(items: Vec<I>, apply: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let n = items.len();
+    let (width, workers) = account(n);
+    if workers <= 1 {
+        items.into_iter().for_each(apply);
+        return;
+    }
+    dispatch(items, width, workers, |_, item| apply(item));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_env_means_machine_width_and_override_restores() {
+        assert!(current_num_threads() >= 1);
+        let outer = current_num_threads();
+        with_num_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_num_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn override_is_restored_after_a_panic() {
+        let outer = current_num_threads();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_num_threads(7, || panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn run_preserves_order_and_filters_none() {
+        let squares = with_num_threads(4, || {
+            run((0..1000u64).collect(), |x| (x % 3 != 0).then_some(x * x))
+        });
+        let expected: Vec<u64> = (0..1000u64).filter(|x| x % 3 != 0).map(|x| x * x).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn stats_count_parallel_operations() {
+        let before = stats();
+        with_num_threads(2, || run((0..64u32).collect(), Some));
+        let after = stats();
+        assert!(after.bulk_ops > before.bulk_ops);
+        assert!(after.parallel_ops > before.parallel_ops);
+        assert!(after.items_processed >= before.items_processed + 64);
+    }
+
+    #[test]
+    fn workers_inherit_the_pinned_width_for_nested_operations() {
+        // A nested bulk operation started *inside* a worker must see the
+        // caller's pinned width, not the global default — otherwise
+        // `--threads 1` / width-pinning tests would silently stop
+        // covering nested fan-outs.
+        let widths = with_num_threads(3, || {
+            run((0..6u32).collect(), |_| Some(current_num_threads()))
+        });
+        assert_eq!(widths, vec![3; 6]);
+    }
+
+    #[test]
+    fn run_discard_visits_every_item_once() {
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        with_num_threads(4, || {
+            run_discard((1..=100u64).collect(), |x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn single_width_runs_inline_without_spawning() {
+        let caller = std::thread::current().id();
+        let ids = with_num_threads(1, || {
+            run((0..8u32).collect(), |_| Some(std::thread::current().id()))
+        });
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+}

@@ -1,0 +1,151 @@
+//! The two behavioral guarantees the sequential stand-in could not
+//! give: a panicking item aborts the whole operation with the original
+//! payload (no deadlock, no silent drop), and two workers really do run
+//! concurrently on distinct OS threads.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Barrier, Mutex};
+use std::thread::ThreadId;
+use std::time::Duration;
+
+use rayon::prelude::*;
+
+/// Runs `f` on a helper thread and panics if it does not finish within
+/// `secs` — the deadlock guard for tests that would otherwise hang.
+fn within_secs<R: Send + 'static>(secs: u64, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("parallel operation deadlocked")
+}
+
+#[test]
+fn panic_propagates_original_payload_without_deadlock() {
+    let caught = within_secs(30, || {
+        std::panic::catch_unwind(|| {
+            rayon::pool::with_num_threads(4, || {
+                let _: Vec<u32> = (0..64usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 17 {
+                            panic!("item 17 exploded");
+                        }
+                        i as u32
+                    })
+                    .collect();
+            })
+        })
+    });
+    let payload = caught.expect_err("the panic must propagate to the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .expect("payload must be the original panic message");
+    assert_eq!(msg, "item 17 exploded");
+}
+
+#[test]
+fn panic_with_non_string_payload_survives() {
+    #[derive(Debug, PartialEq)]
+    struct Marker(u64);
+    let caught = within_secs(30, || {
+        std::panic::catch_unwind(|| {
+            rayon::pool::with_num_threads(2, || {
+                (0..8usize).into_par_iter().for_each(|i| {
+                    if i == 3 {
+                        std::panic::panic_any(Marker(0xDEAD));
+                    }
+                });
+            })
+        })
+    });
+    let payload = caught.expect_err("panic must propagate");
+    assert_eq!(
+        payload.downcast_ref::<Marker>(),
+        Some(&Marker(0xDEAD)),
+        "the original typed payload must survive the pool"
+    );
+}
+
+#[test]
+fn panic_stops_the_operation_early() {
+    // After the panicking item, workers must stop claiming chunks: with
+    // width 1... sequential inline still aborts at the panic. With
+    // width 2, far fewer than all items should run after the abort.
+    let ran = std::sync::Arc::new(AtomicUsize::new(0));
+    let ran2 = ran.clone();
+    let caught = within_secs(30, move || {
+        std::panic::catch_unwind(move || {
+            rayon::pool::with_num_threads(2, || {
+                (0..10_000usize).into_par_iter().for_each(|i| {
+                    ran2.fetch_add(1, Ordering::Relaxed);
+                    if i == 0 {
+                        panic!("abort");
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                });
+            })
+        })
+    });
+    assert!(caught.is_err());
+    assert!(
+        ran.load(Ordering::Relaxed) < 10_000,
+        "the stop flag must prevent draining the whole input after a panic"
+    );
+}
+
+/// The rendezvous proof of real parallelism: two items wait on one
+/// `Barrier` — the operation can only complete if two OS threads run
+/// them concurrently. A sequential executor would deadlock (caught by
+/// the timeout guard), so completion *is* the assertion.
+#[test]
+fn two_workers_rendezvous_on_distinct_os_threads() {
+    let ids: Vec<ThreadId> = within_secs(60, || {
+        rayon::pool::with_num_threads(2, || {
+            let barrier = Barrier::new(2);
+            (0..2usize)
+                .into_par_iter()
+                .map(|_| {
+                    barrier.wait();
+                    std::thread::current().id()
+                })
+                .collect()
+        })
+    });
+    let distinct: HashSet<ThreadId> = ids.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        2,
+        "both items must run on their own OS thread"
+    );
+}
+
+/// Closure-observed thread accounting: at width 4 over slow-ish items,
+/// more than one worker thread participates, and none of them is the
+/// calling thread (workers are scoped spawns).
+#[test]
+fn wide_pool_uses_multiple_worker_threads() {
+    let caller = std::thread::current().id();
+    let seen: HashSet<ThreadId> = within_secs(60, || {
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let barrier = Barrier::new(2);
+        rayon::pool::with_num_threads(4, || {
+            (0..8usize).into_par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // Pairwise rendezvous: every item must meet another
+                // item running concurrently on a different claimant.
+                barrier.wait();
+            });
+        });
+        seen.into_inner().unwrap()
+    });
+    assert!(seen.len() >= 2, "expected >1 worker, saw {}", seen.len());
+    assert!(
+        !seen.contains(&caller),
+        "scoped workers must not be the calling thread"
+    );
+}

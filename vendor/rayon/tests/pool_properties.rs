@@ -1,0 +1,93 @@
+//! Property tests of the pool: any `par_iter` chain must equal its
+//! sequential counterpart — same elements, same order — at every pool
+//! width, including the degenerate lengths 0, 1, and lengths well past
+//! the chunking threshold.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `map().collect()` over an arbitrary `Vec<u64>` equals the
+    /// sequential result at widths 1, 2, 3, and 8.
+    #[test]
+    fn par_map_equals_sequential_map(
+        v in prop::collection::vec(0u64..1_000_000, 0..300),
+        width in 1usize..=8,
+    ) {
+        let expected: Vec<u64> = v.iter().map(|&x| x.wrapping_mul(2654435761) ^ 17).collect();
+        let parallel: Vec<u64> = rayon::pool::with_num_threads(width, || {
+            v.par_iter().map(|&x| x.wrapping_mul(2654435761) ^ 17).collect()
+        });
+        prop_assert_eq!(parallel, expected);
+    }
+
+    /// `filter` + `map` chains drop and transform exactly the same
+    /// items in the same order as the sequential iterator.
+    #[test]
+    fn par_filter_map_equals_sequential(
+        v in prop::collection::vec(0u64..100, 0..257),
+        modulus in 1u64..7,
+        width in 1usize..=8,
+    ) {
+        let expected: Vec<u64> = v
+            .iter()
+            .filter(|&&x| x % modulus != 0)
+            .map(|&x| x + 1)
+            .collect();
+        let parallel: Vec<u64> = rayon::pool::with_num_threads(width, || {
+            v.par_iter().filter(|&&x| x % modulus != 0).map(|&x| x + 1).collect()
+        });
+        prop_assert_eq!(parallel, expected);
+    }
+
+    /// `sum` and `count` agree with the sequential aggregates.
+    #[test]
+    fn par_aggregates_equal_sequential(
+        v in prop::collection::vec(0u64..1_000, 0..200),
+        width in 1usize..=8,
+    ) {
+        let (sum, count) = rayon::pool::with_num_threads(width, || {
+            let s: u64 = v.par_iter().map(|&x| x).sum();
+            let c = v.par_iter().filter(|&&x| x % 2 == 0).count();
+            (s, c)
+        });
+        prop_assert_eq!(sum, v.iter().sum::<u64>());
+        prop_assert_eq!(count, v.iter().filter(|&&x| x % 2 == 0).count());
+    }
+}
+
+/// The explicit boundary lengths the chunking logic must survive: empty
+/// input, a single item, and a length far above `width * 4` chunks.
+#[test]
+fn boundary_lengths_round_trip() {
+    for width in [1usize, 2, 5, 8] {
+        rayon::pool::with_num_threads(width, || {
+            let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+            assert!(empty.is_empty(), "width {width}");
+
+            let single: Vec<u32> = vec![41u32].into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(single, vec![42], "width {width}");
+
+            let n = width * 4 * 13 + 7; // beyond any chunk boundary
+            let long: Vec<usize> = (0..n).into_par_iter().map(|x| x * 3).collect();
+            assert_eq!(
+                long,
+                (0..n).map(|x| x * 3).collect::<Vec<_>>(),
+                "width {width}"
+            );
+        });
+    }
+}
+
+/// Owned (`into_par_iter`) and borrowed (`par_iter`) sources agree.
+#[test]
+fn owned_and_borrowed_sources_agree() {
+    let v: Vec<u64> = (0..500).map(|x| x * x).collect();
+    rayon::pool::with_num_threads(4, || {
+        let by_ref: Vec<u64> = v.par_iter().map(|&x| x / 3).collect();
+        let by_val: Vec<u64> = v.clone().into_par_iter().map(|x| x / 3).collect();
+        assert_eq!(by_ref, by_val);
+    });
+}
