@@ -15,6 +15,7 @@ use predictsim_core::weighting::WeightingScheme;
 use predictsim_sim::SimConfig;
 use predictsim_workload::GeneratedWorkload;
 
+use crate::scenario::Scenario;
 use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
 
 /// One labeled ablation measurement.
@@ -37,8 +38,8 @@ fn run_rows(
     };
     runs.into_par_iter()
         .map(|(label, triple)| {
-            let sim = triple
-                .run(&workload.jobs, cfg)
+            let sim = Scenario::from_triple(&triple)
+                .run_on(&workload.jobs, cfg)
                 .unwrap_or_else(|e| panic!("ablation {label} failed: {e}"));
             AblationRow {
                 label,

@@ -1,4 +1,5 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, or run any
+//! single scenario by registry name.
 //!
 //! ```text
 //! repro [OPTIONS] <EXPERIMENT>...
@@ -13,24 +14,38 @@
 //!   fig5       ECDF of predicted values on Curie          (§6.4, Figure 5)
 //!   ablation   scheduler/correction/optimizer/basis/loss ablations
 //!   all        everything above (campaigns are shared)
+//!   scenario   one simulation picked by the policy flags below
 //!
 //! OPTIONS
-//!   --scale F    preset scale factor (default 0.05; 1.0 = full Table 4)
-//!   --full       shorthand for --scale 1.0
-//!   --seed N     workload generation seed (default 20150101)
-//!   --out DIR    also write JSON artifacts (campaigns, figures) to DIR
-//!   --threads N  pin the worker-pool width (default: RAYON_NUM_THREADS
-//!                or the machine's parallelism)
-//!   --timing     record per-phase wall-clock into EXPERIMENTS.md
+//!   --scale F        preset scale factor (default 0.05; 1.0 = full Table 4)
+//!   --full           shorthand for --scale 1.0
+//!   --seed N         workload generation seed (default 20150101)
+//!   --out DIR        also write JSON artifacts (campaigns, figures) to DIR
+//!   --threads N      pin the worker-pool width (default: RAYON_NUM_THREADS
+//!                    or the machine's parallelism)
+//!   --timing         record per-phase wall-clock into EXPERIMENTS.md
+//!   --list           print every registered scheduler/predictor/correction
+//!
+//! SCENARIO OPTIONS (with the `scenario` experiment)
+//!   --swf FILE       simulate this SWF log instead of a synthetic preset
+//!   --log NAME       synthetic Table 4 preset to use (prefix match;
+//!                    default: the first, KTH-SP2)
+//!   --scheduler S    registry name, e.g. easy, easy-sjbf   (default easy)
+//!   --predictor P    registry name, e.g. ave2, ml:u=lin,o=sq,g=area
+//!                    (default requested)
+//!   --correction C   registry name, e.g. incremental       (default none)
 //! ```
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use predictsim_experiments::ablation;
-use predictsim_experiments::campaign::{run_campaign, CampaignResult};
+use predictsim_experiments::campaign::{run_campaign, CampaignResult, TripleResult};
 use predictsim_experiments::context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
 use predictsim_experiments::figures::{fig3, fig4_fig5, render_ecdf_series, render_fig3};
+use predictsim_experiments::registry::render_registry;
+use predictsim_experiments::scenario::Scenario;
+use predictsim_experiments::source::{SwfSource, SyntheticSource, WorkloadSource};
 use predictsim_experiments::tables::{
     render_table1, render_table6, render_table7, render_table8, table1, table6, table7, table8,
 };
@@ -44,6 +59,11 @@ struct Options {
     experiments: Vec<String>,
     threads: Option<usize>,
     timing: bool,
+    swf: Option<std::path::PathBuf>,
+    log: Option<String>,
+    scheduler: Option<String>,
+    predictor: Option<String>,
+    correction: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -55,9 +75,30 @@ fn parse_args() -> Result<Options, String> {
     let mut experiments = Vec::new();
     let mut threads = None;
     let mut timing = false;
+    let mut swf = None;
+    let mut log = None;
+    let mut scheduler = None;
+    let mut predictor = None;
+    let mut correction = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--list" => experiments.push("list".into()),
+            "--swf" => {
+                swf = Some(std::path::PathBuf::from(
+                    args.next().ok_or("--swf needs a file path")?,
+                ));
+            }
+            "--log" => log = Some(args.next().ok_or("--log needs a preset name")?),
+            "--scheduler" => {
+                scheduler = Some(args.next().ok_or("--scheduler needs a registry name")?);
+            }
+            "--predictor" => {
+                predictor = Some(args.next().ok_or("--predictor needs a registry name")?);
+            }
+            "--correction" => {
+                correction = Some(args.next().ok_or("--correction needs a registry name")?);
+            }
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 setup.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
@@ -84,17 +125,28 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 experiments.clear();
                 experiments.push("help".into());
-                return Ok(Options {
-                    setup,
-                    out_dir,
-                    experiments,
-                    threads,
-                    timing,
-                });
+                break;
             }
             other if !other.starts_with('-') => experiments.push(other.to_string()),
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+    // Scenario flags without an experiment imply a single scenario run;
+    // with other experiments named they would be silently dead, so that
+    // is an error rather than a surprise.
+    let scenario_flags = swf.is_some()
+        || log.is_some()
+        || scheduler.is_some()
+        || predictor.is_some()
+        || correction.is_some();
+    if scenario_flags && experiments.is_empty() {
+        experiments.push("scenario".into());
+    } else if scenario_flags && !experiments.iter().any(|e| e == "scenario" || e == "help") {
+        return Err(
+            "--swf/--log/--scheduler/--predictor/--correction only apply to the \
+             `scenario` experiment; add `scenario` to the experiment list"
+                .into(),
+        );
     }
     if experiments.is_empty() {
         experiments.push("help".into());
@@ -105,6 +157,11 @@ fn parse_args() -> Result<Options, String> {
         experiments,
         threads,
         timing,
+        swf,
+        log,
+        scheduler,
+        predictor,
+        correction,
     })
 }
 
@@ -152,6 +209,12 @@ fn main() {
         print!("{USAGE}");
         return;
     }
+    if opts.experiments.iter().any(|e| e == "list") {
+        print!("{}", render_registry());
+        if opts.experiments.iter().all(|e| e == "list") {
+            return;
+        }
+    }
     match opts.threads {
         // The override is thread-local; every fan-out in `run` starts
         // from this thread, so the whole pipeline inherits the width.
@@ -160,9 +223,99 @@ fn main() {
     }
 }
 
+/// Runs one scenario picked entirely by registry names — the Scenario
+/// API as a command line.
+fn run_scenario(opts: &Options, timer: &mut PhaseTimer) {
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("error: {e}\nrun `repro --list` for the registered policy names");
+        std::process::exit(2);
+    };
+    let source: Box<dyn WorkloadSource + Send> = match &opts.swf {
+        Some(path) => Box::new(SwfSource::new(path)),
+        None => {
+            let spec = match &opts.log {
+                Some(name) => opts
+                    .setup
+                    .spec(name)
+                    .unwrap_or_else(|| fail(&format!("no Table 4 preset matches {name:?}"))),
+                None => opts
+                    .setup
+                    .specs()
+                    .into_iter()
+                    .next()
+                    .expect("presets exist"),
+            };
+            Box::new(SyntheticSource::new(spec, opts.setup.seed))
+        }
+    };
+    let mut builder = Scenario::builder().workload(source);
+    if let Some(s) = &opts.scheduler {
+        builder = builder.scheduler(s);
+    }
+    if let Some(p) = &opts.predictor {
+        builder = builder.predictor(p);
+    }
+    if let Some(c) = &opts.correction {
+        builder = builder.correction(c);
+    }
+    let mut scenario = builder.build().unwrap_or_else(|e| fail(&e));
+
+    println!("## Scenario — {}\n", scenario.name());
+    let loaded = timer.time("scenario workload load", || scenario.load_workload());
+    let loaded = loaded.unwrap_or_else(|e| fail(&e));
+    eprintln!(
+        "  loaded {}: {} jobs, m={}",
+        loaded.name,
+        loaded.jobs.len(),
+        loaded.machine_size
+    );
+    if let Some(report) = &loaded.cleaning {
+        eprintln!(
+            "  cleaning: kept {} | dropped {} unrunnable, {} oversize | repaired {} estimates, {} inversions",
+            report.kept,
+            report.dropped_unrunnable,
+            report.dropped_oversize,
+            report.repaired_estimates,
+            report.repaired_inversions,
+        );
+    }
+    let result = timer.time("scenario simulation", || {
+        scenario.run_on(&loaded.jobs, loaded.sim_config())
+    });
+    let result = result.unwrap_or_else(|e| fail(&e));
+    let summary = TripleResult::from_sim(scenario.triple(), &result);
+    println!("| metric | value |\n|---|---|");
+    println!(
+        "| workload | {} ({} jobs, m={}) |",
+        loaded.name,
+        loaded.jobs.len(),
+        loaded.machine_size
+    );
+    println!("| AVEbsld | {:.2} |", summary.ave_bsld);
+    println!("| max bsld | {:.1} |", summary.max_bsld);
+    println!("| mean wait | {:.0} s |", summary.mean_wait);
+    println!("| utilization | {:.1}% |", 100.0 * summary.utilization);
+    println!("| corrections | {} |", summary.corrections);
+    println!("| prediction MAE | {:.0} s |", summary.mae);
+    println!();
+    write_json(&opts.out_dir, "scenario.json", &summary);
+}
+
 fn run(opts: &Options) {
-    let wants = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
+    // `all` covers the paper pipeline; `scenario` and `list` only run
+    // when named explicitly.
+    let wants = |name: &str| {
+        opts.experiments
+            .iter()
+            .any(|e| e == name || (e == "all" && name != "scenario" && name != "list"))
+    };
     let needs_campaigns = wants("table6") || wants("table7") || wants("fig3");
+    let needs_presets = [
+        "table1", "table6", "table7", "table8", "fig3", "fig4", "fig5",
+    ]
+    .iter()
+    .any(|e| wants(e))
+        || wants("ablation");
     let threads = rayon::current_num_threads();
 
     println!(
@@ -170,7 +323,16 @@ fn run(opts: &Options) {
         opts.setup.scale, opts.setup.seed, threads
     );
     let mut timer = PhaseTimer::new();
-    let workloads = timer.time("workload generation", || opts.setup.workloads());
+
+    if wants("scenario") {
+        run_scenario(opts, &mut timer);
+    }
+
+    let workloads = if needs_presets {
+        timer.time("workload generation", || opts.setup.workloads())
+    } else {
+        Vec::new()
+    };
     for w in &workloads {
         eprintln!(
             "  generated {}: {} jobs, m={}, offered util {:.2}",
@@ -307,11 +469,12 @@ fn run(opts: &Options) {
         let experiments = opts.experiments.join(" ");
         let section =
             timer.render_markdown(opts.setup.scale, opts.setup.seed, threads, &experiments);
-        // Only a full `all` run may replace the recorded section — a
+        // Only a pure `all` run may replace the recorded section — a
         // partial run would overwrite the committed full-pipeline
-        // numbers with a table missing most phases.
-        if !wants("all") {
-            eprintln!("--timing: partial run ({experiments}); printing instead of updating EXPERIMENTS.md");
+        // numbers with a table missing most phases, and an ad-hoc
+        // scenario run would splice arbitrary extra phases into them.
+        if !wants("all") || wants("scenario") {
+            eprintln!("--timing: non-standard run ({experiments}); printing instead of updating EXPERIMENTS.md");
             println!("{section}");
             return;
         }
@@ -344,6 +507,7 @@ EXPERIMENTS
   fig5       ECDF of predicted values on Curie          (Figure 5)
   ablation   scheduler/correction/optimizer/basis/loss ablations
   all        everything above
+  scenario   one simulation picked by the scenario options below
 
 OPTIONS
   --scale F    preset scale factor (default 0.05; 1.0 = full Table 4)
@@ -353,4 +517,14 @@ OPTIONS
   --threads N  pin the worker-pool width (default: RAYON_NUM_THREADS or
                the machine's parallelism); results are identical at any N
   --timing     record per-phase wall-clock into ./EXPERIMENTS.md
+  --list       print every registered scheduler/predictor/correction name
+
+SCENARIO OPTIONS (imply the scenario experiment when no other is named)
+  --swf FILE      simulate this SWF log instead of a synthetic preset
+  --log NAME      synthetic Table 4 preset (prefix match; default KTH-SP2)
+  --scheduler S   e.g. easy, easy-sjbf, fcfs, conservative  (default easy)
+  --predictor P   e.g. requested, ave2, clairvoyant,
+                  ml(u=lin,o=sq,g=area) or ml:u=lin,o=sq,g=area
+                  (default requested)
+  --correction C  e.g. req-time, incremental, rec-doubling  (default none)
 ";

@@ -11,9 +11,11 @@ use serde::{Deserialize, Serialize};
 use predictsim_core::{mae_of_outcomes, mean_eloss_of_outcomes};
 use predictsim_metrics::bsld::{fraction_bsld_above, max_bsld};
 use predictsim_metrics::DEFAULT_TAU;
-use predictsim_sim::{SimConfig, SimResult};
+use predictsim_sim::{Job, SimConfig, SimResult};
 use predictsim_workload::GeneratedWorkload;
 
+use crate::scenario::Scenario;
+use crate::source::{LoadedWorkload, SourceError, WorkloadSource};
 use crate::triple::HeuristicTriple;
 
 /// Aggregated metrics of one triple on one workload.
@@ -111,6 +113,32 @@ impl CampaignResult {
     }
 }
 
+/// Runs `triples` on a shared job vector, in parallel, through the
+/// [`Scenario`] API (one workload-less scenario per triple).
+fn run_campaign_jobs(
+    log: &str,
+    machine_size: u32,
+    jobs: &[Job],
+    triples: &[HeuristicTriple],
+) -> CampaignResult {
+    let config = SimConfig { machine_size };
+    let results: Vec<TripleResult> = triples
+        .par_iter()
+        .map(|triple| {
+            let sim = Scenario::from_triple(triple)
+                .run_on(jobs, config)
+                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
+            TripleResult::from_sim(triple, &sim)
+        })
+        .collect();
+    CampaignResult {
+        log: log.to_string(),
+        machine_size,
+        jobs: jobs.len(),
+        results,
+    }
+}
+
 /// Runs `triples` on `workload`, in parallel.
 ///
 /// # Panics
@@ -118,24 +146,36 @@ impl CampaignResult {
 /// Panics if any simulation rejects the workload — the generator's output
 /// is validated, so a failure here is a bug, not an input condition.
 pub fn run_campaign(workload: &GeneratedWorkload, triples: &[HeuristicTriple]) -> CampaignResult {
-    let config = SimConfig {
-        machine_size: workload.machine_size,
-    };
-    let results: Vec<TripleResult> = triples
-        .par_iter()
-        .map(|triple| {
-            let sim = triple
-                .run(&workload.jobs, config)
-                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
-            TripleResult::from_sim(triple, &sim)
-        })
-        .collect();
-    CampaignResult {
-        log: workload.name.clone(),
-        machine_size: workload.machine_size,
-        jobs: workload.jobs.len(),
-        results,
-    }
+    run_campaign_jobs(
+        &workload.name,
+        workload.machine_size,
+        &workload.jobs,
+        triples,
+    )
+}
+
+/// Runs `triples` on an already loaded workload (synthetic or SWF — see
+/// [`crate::source`]), in parallel.
+pub fn run_campaign_loaded(
+    workload: &LoadedWorkload,
+    triples: &[HeuristicTriple],
+) -> CampaignResult {
+    run_campaign_jobs(
+        &workload.name,
+        workload.machine_size,
+        &workload.jobs,
+        triples,
+    )
+}
+
+/// Loads `source` and runs `triples` on it: the one-call campaign for
+/// any [`WorkloadSource`].
+pub fn run_campaign_source(
+    source: &dyn WorkloadSource,
+    triples: &[HeuristicTriple],
+) -> Result<CampaignResult, SourceError> {
+    let loaded = source.load()?;
+    Ok(run_campaign_loaded(&loaded, triples))
 }
 
 #[cfg(test)]

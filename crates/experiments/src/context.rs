@@ -56,16 +56,20 @@ impl ExperimentSetup {
             .collect()
     }
 
+    /// Finds one Table 4 spec at this setup's scale by name prefix
+    /// (case-insensitive) — the lookup rule `--log` and
+    /// [`ExperimentSetup::workload`] share.
+    pub fn spec(&self, name: &str) -> Option<WorkloadSpec> {
+        self.specs().into_iter().find(|s| {
+            s.name
+                .to_ascii_lowercase()
+                .starts_with(&name.to_ascii_lowercase())
+        })
+    }
+
     /// Generates one workload by Table 4 name (case-insensitive).
     pub fn workload(&self, name: &str) -> Option<GeneratedWorkload> {
-        self.specs()
-            .into_iter()
-            .find(|s| {
-                s.name
-                    .to_ascii_lowercase()
-                    .starts_with(&name.to_ascii_lowercase())
-            })
-            .map(|s| generate(&s, self.seed))
+        self.spec(name).map(|s| generate(&s, self.seed))
     }
 }
 

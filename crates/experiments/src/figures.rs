@@ -13,6 +13,7 @@ use predictsim_sim::{SimConfig, SimResult};
 use predictsim_workload::GeneratedWorkload;
 
 use crate::campaign::CampaignResult;
+use crate::scenario::Scenario;
 use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
 
 use predictsim_core::loss::AsymmetricLoss;
@@ -143,8 +144,8 @@ fn run_technique(
     };
     (
         label.to_string(),
-        triple
-            .run(&workload.jobs, cfg)
+        Scenario::from_triple(&triple)
+            .run_on(&workload.jobs, cfg)
             .expect("figure simulation failed"),
     )
 }

@@ -2,6 +2,13 @@
 //!
 //! The experiment campaign of §6 of Gaussier et al. (SC '15), end to end:
 //!
+//! * [`scenario`] — the `Scenario` builder: the single public entry
+//!   point for running simulations (workload × policies × observer);
+//! * [`registry`] — the string-keyed policy registry (`"easy-sjbf"`,
+//!   `"ave2"`, `"ml(u=lin,o=sq,g=area)"`, …) with parse/display
+//!   round-tripping and typed errors;
+//! * [`source`] — the unified `WorkloadSource`: synthetic generation and
+//!   real SWF logs behind one trait;
 //! * [`triple`] — the heuristic-triple space (prediction × correction ×
 //!   backfilling variant), exactly 128 per log as in §6.2;
 //! * [`campaign`] — the parallel campaign runner;
@@ -35,6 +42,9 @@ pub mod campaign;
 pub mod context;
 pub mod cv;
 pub mod figures;
+pub mod registry;
+pub mod scenario;
+pub mod source;
 pub mod tables;
 pub mod timing;
 pub mod triple;
@@ -42,6 +52,12 @@ pub mod triple;
 pub use campaign::{run_campaign, CampaignResult, TripleResult};
 pub use context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
 pub use cv::{cross_validate, CvOutcome, CvRow};
+pub use registry::{
+    registered_corrections, registered_predictors, registered_schedulers, render_registry,
+    PolicyEntry, RegistryError,
+};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
+pub use source::{LoadedWorkload, SourceError, SwfSource, SyntheticSource, WorkloadSource};
 pub use triple::{
     campaign_triples, reference_triples, CorrectionKind, HeuristicTriple, PredictionTechnique,
     Variant,

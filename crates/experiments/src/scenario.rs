@@ -1,0 +1,465 @@
+//! The `Scenario` builder: the single public entry point for running
+//! simulations.
+//!
+//! A scenario is a workload (any [`WorkloadSource`]) crossed with a
+//! policy triple — scheduler × predictor × correction, each addressable
+//! by its registry name ([`crate::registry`]) or by its typed value —
+//! plus an optional per-event [`SimObserver`]. The builder defers all
+//! resolution to [`ScenarioBuilder::build`], so misspelled policy names
+//! surface as typed [`ScenarioError`]s instead of panics, and the same
+//! `Scenario` can be rerun (predictor and scheduler state is rebuilt
+//! fresh per run).
+//!
+//! ```
+//! use predictsim_experiments::scenario::Scenario;
+//! use predictsim_experiments::source::SyntheticSource;
+//! use predictsim_workload::WorkloadSpec;
+//!
+//! let mut scenario = Scenario::builder()
+//!     .workload(SyntheticSource::new(WorkloadSpec::toy(), 42))
+//!     .scheduler("easy-sjbf")
+//!     .predictor("ml:u=lin,o=sq,g=area")
+//!     .correction("incremental")
+//!     .build()
+//!     .unwrap();
+//! let result = scenario.run().unwrap();
+//! assert_eq!(result.outcomes.len(), 2000);
+//! println!("AVEbsld = {:.1}", result.ave_bsld());
+//! ```
+//!
+//! Everything in the experiment layer — the §6.2 campaign, the tables,
+//! the figures, the ablations, and the `repro` binary — runs through
+//! this API; `HeuristicTriple::run` is a thin veneer over it.
+
+use predictsim_sim::observe::{NullObserver, SimObserver};
+use predictsim_sim::{simulate_observed, Job, SimConfig, SimError, SimResult};
+
+use crate::registry::RegistryError;
+use crate::source::{LoadedWorkload, SourceError, WorkloadSource};
+use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
+
+/// Why a scenario could not be built or run.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A policy name did not resolve against the registry.
+    Registry(RegistryError),
+    /// The workload source failed to load.
+    Source(SourceError),
+    /// The builder was finalized without a workload.
+    MissingWorkload,
+    /// The simulation itself rejected the workload or a policy misbehaved.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Registry(e) => write!(f, "{e}"),
+            ScenarioError::Source(e) => write!(f, "{e}"),
+            ScenarioError::MissingWorkload => {
+                write!(
+                    f,
+                    "scenario has no workload: call .workload(..) before .build()"
+                )
+            }
+            ScenarioError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<RegistryError> for ScenarioError {
+    fn from(e: RegistryError) -> Self {
+        ScenarioError::Registry(e)
+    }
+}
+
+impl From<SourceError> for ScenarioError {
+    fn from(e: SourceError) -> Self {
+        ScenarioError::Source(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
+    }
+}
+
+/// A policy field that may be given by registry name or by typed value;
+/// names resolve at [`ScenarioBuilder::build`] time.
+#[derive(Debug, Clone)]
+enum Spec<T> {
+    Named(String),
+    Typed(T),
+}
+
+/// Fluent constructor for [`Scenario`]s — see the module docs.
+#[derive(Default)]
+pub struct ScenarioBuilder {
+    workload: Option<Box<dyn WorkloadSource + Send>>,
+    scheduler: Option<Spec<Variant>>,
+    predictor: Option<Spec<PredictionTechnique>>,
+    correction: Option<Spec<CorrectionKind>>,
+    observer: Option<Box<dyn SimObserver + Send>>,
+}
+
+impl ScenarioBuilder {
+    /// Sets the workload source (synthetic spec, SWF log, or an already
+    /// loaded workload).
+    pub fn workload(mut self, source: impl WorkloadSource + Send + 'static) -> Self {
+        self.workload = Some(Box::new(source));
+        self
+    }
+
+    /// Selects the scheduler by registry name (e.g. `"easy-sjbf"`).
+    pub fn scheduler(mut self, name: &str) -> Self {
+        self.scheduler = Some(Spec::Named(name.to_string()));
+        self
+    }
+
+    /// Selects the scheduler by typed value.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.scheduler = Some(Spec::Typed(variant));
+        self
+    }
+
+    /// Selects the prediction technique by registry name (e.g. `"ave2"`,
+    /// `"ml:u=lin,o=sq,g=area"`).
+    pub fn predictor(mut self, name: &str) -> Self {
+        self.predictor = Some(Spec::Named(name.to_string()));
+        self
+    }
+
+    /// Selects the prediction technique by typed value.
+    pub fn prediction(mut self, prediction: PredictionTechnique) -> Self {
+        self.predictor = Some(Spec::Typed(prediction));
+        self
+    }
+
+    /// Selects the correction mechanism by registry name
+    /// (e.g. `"incremental"`). Omit for techniques that never
+    /// under-predict.
+    pub fn correction(mut self, name: &str) -> Self {
+        self.correction = Some(Spec::Named(name.to_string()));
+        self
+    }
+
+    /// Selects the correction mechanism by typed value.
+    pub fn correction_kind(mut self, kind: CorrectionKind) -> Self {
+        self.correction = Some(Spec::Typed(kind));
+        self
+    }
+
+    /// Sets the whole policy triple at once (scheduler, predictor, and
+    /// correction taken from `triple`).
+    pub fn triple(mut self, triple: &HeuristicTriple) -> Self {
+        self.scheduler = Some(Spec::Typed(triple.variant));
+        self.predictor = Some(Spec::Typed(triple.prediction.clone()));
+        self.correction = triple.correction.map(Spec::Typed);
+        self
+    }
+
+    /// Installs a per-event observer (see `predictsim_sim::observe`).
+    /// Use `MetricsObserver::shared()` to keep a readable handle. When
+    /// the observer needs workload facts unknown until load time (e.g.
+    /// the machine size of an SWF log), build first, then
+    /// [`Scenario::load_workload`] and [`Scenario::set_observer`].
+    pub fn observer(mut self, observer: Box<dyn SimObserver + Send>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Resolves every registry name and finalizes the scenario.
+    ///
+    /// Unset policies default to the standard EASY configuration:
+    /// scheduler `easy`, predictor `requested`, no correction.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let workload = self.workload.ok_or(ScenarioError::MissingWorkload)?;
+        let variant = match self.scheduler {
+            None => Variant::Easy,
+            Some(Spec::Typed(v)) => v,
+            Some(Spec::Named(name)) => name.parse()?,
+        };
+        let prediction = match self.predictor {
+            None => PredictionTechnique::RequestedTime,
+            Some(Spec::Typed(p)) => p,
+            Some(Spec::Named(name)) => name.parse()?,
+        };
+        let correction = match self.correction {
+            None => None,
+            Some(Spec::Typed(c)) => Some(c),
+            Some(Spec::Named(name)) => Some(name.parse()?),
+        };
+        Ok(Scenario {
+            workload: Some(workload),
+            triple: HeuristicTriple {
+                prediction,
+                correction,
+                variant,
+            },
+            observer: self.observer,
+        })
+    }
+}
+
+impl std::fmt::Debug for ScenarioBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioBuilder")
+            .field("workload", &self.workload.as_ref().map(|w| w.describe()))
+            .field("scheduler", &self.scheduler)
+            .field("predictor", &self.predictor)
+            .field("correction", &self.correction)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+/// A runnable scenario: workload × policy triple × observer.
+pub struct Scenario {
+    workload: Option<Box<dyn WorkloadSource + Send>>,
+    triple: HeuristicTriple,
+    observer: Option<Box<dyn SimObserver + Send>>,
+}
+
+impl Scenario {
+    /// Starts a fresh builder.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// A workload-less scenario carrying only the policy triple; run it
+    /// with [`Scenario::run_on`] against externally managed jobs (the
+    /// campaign runner shares one workload across 128 of these).
+    pub fn from_triple(triple: &HeuristicTriple) -> Self {
+        Self {
+            workload: None,
+            triple: triple.clone(),
+            observer: None,
+        }
+    }
+
+    /// The resolved policy triple.
+    pub fn triple(&self) -> &HeuristicTriple {
+        &self.triple
+    }
+
+    /// The campaign-style display name, e.g.
+    /// `"ml(u=lin,o=sq,g=area)+incremental+easy-sjbf"`.
+    pub fn name(&self) -> String {
+        self.triple.name()
+    }
+
+    /// Installs or replaces the per-event observer after build time —
+    /// typically once [`Scenario::load_workload`] has revealed the
+    /// machine size an observer such as
+    /// `predictsim_sim::MetricsObserver` needs.
+    pub fn set_observer(&mut self, observer: Box<dyn SimObserver + Send>) {
+        self.observer = Some(observer);
+    }
+
+    /// Loads the workload source without simulating (to inspect cleaning
+    /// reports or job counts).
+    pub fn load_workload(&self) -> Result<LoadedWorkload, ScenarioError> {
+        self.workload
+            .as_ref()
+            .ok_or(ScenarioError::MissingWorkload)?
+            .load()
+            .map_err(ScenarioError::from)
+    }
+
+    /// Loads the workload and runs the simulation, reporting events to
+    /// the installed observer (if any). Policies are rebuilt fresh, so
+    /// repeated runs are independent and deterministic.
+    pub fn run(&mut self) -> Result<SimResult, ScenarioError> {
+        let loaded = self.load_workload()?;
+        self.run_on(&loaded.jobs, loaded.sim_config())
+    }
+
+    /// Runs the policy triple on externally managed jobs (already
+    /// validated, submit-ordered, densely numbered).
+    pub fn run_on(&mut self, jobs: &[Job], config: SimConfig) -> Result<SimResult, ScenarioError> {
+        let mut predictor = self.triple.prediction.build();
+        let mut scheduler = self.triple.variant.build();
+        let correction = self.triple.correction.as_ref().map(|c| c.build());
+        let mut null = NullObserver;
+        let observer: &mut dyn SimObserver = match self.observer.as_mut() {
+            Some(o) => o.as_mut(),
+            None => &mut null,
+        };
+        simulate_observed(
+            jobs,
+            config,
+            scheduler.as_mut(),
+            predictor.as_mut(),
+            correction
+                .as_deref()
+                .map(|c| c as &dyn predictsim_sim::CorrectionPolicy),
+            observer,
+        )
+        .map_err(ScenarioError::from)
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("workload", &self.workload.as_ref().map(|w| w.describe()))
+            .field("triple", &self.triple.name())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SyntheticSource;
+    use predictsim_sim::observe::MetricsObserver;
+    use predictsim_workload::{generate, WorkloadSpec};
+
+    fn tiny_spec() -> WorkloadSpec {
+        let mut spec = WorkloadSpec::toy();
+        spec.jobs = 250;
+        spec.duration = 3 * 86_400;
+        spec
+    }
+
+    #[test]
+    fn builder_matches_legacy_triple_run() {
+        let w = generate(&tiny_spec(), 7);
+        let legacy = HeuristicTriple::paper_winner()
+            .run(&w.jobs, w.sim_config())
+            .unwrap();
+        let via_builder = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 7))
+            .scheduler("easy-sjbf")
+            .predictor("ml(u=lin,o=sq,g=area)")
+            .correction("incremental")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            legacy, via_builder,
+            "scenario path must be behavior-preserving"
+        );
+    }
+
+    #[test]
+    fn defaults_are_standard_easy() {
+        let mut scenario = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 9))
+            .build()
+            .unwrap();
+        assert_eq!(scenario.name(), "requested+easy");
+        let result = scenario.run().unwrap();
+        let w = generate(&tiny_spec(), 9);
+        let legacy = HeuristicTriple::standard_easy()
+            .run(&w.jobs, w.sim_config())
+            .unwrap();
+        assert_eq!(result, legacy);
+    }
+
+    #[test]
+    fn unknown_policy_names_fail_at_build_time() {
+        let err = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 1))
+            .scheduler("round-robin")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Registry(RegistryError::UnknownScheduler(_))
+        ));
+        let err = Scenario::builder().build().unwrap_err();
+        assert!(matches!(err, ScenarioError::MissingWorkload));
+    }
+
+    #[test]
+    fn observer_receives_the_run() {
+        let (metrics, observer) = MetricsObserver::shared(64);
+        let mut scenario = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 3))
+            .scheduler("easy")
+            .predictor("ave2")
+            .correction("incremental")
+            .observer(observer)
+            .build()
+            .unwrap();
+        let result = scenario.run().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.finished(), result.outcomes.len());
+        assert!((snap.ave_bsld() - result.ave_bsld()).abs() < 1e-9);
+        assert_eq!(snap.corrections(), result.total_corrections());
+    }
+
+    #[test]
+    fn observer_can_be_installed_after_load() {
+        // The SWF/MetricsObserver pattern: the machine size is only
+        // known after loading, so the observer is installed post-build.
+        let mut scenario = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 3))
+            .scheduler("easy")
+            .predictor("ave2")
+            .correction("incremental")
+            .build()
+            .unwrap();
+        let workload = scenario.load_workload().unwrap();
+        let (metrics, observer) = MetricsObserver::shared(workload.machine_size);
+        scenario.set_observer(observer);
+        let result = scenario
+            .run_on(&workload.jobs, workload.sim_config())
+            .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.finished(), result.outcomes.len());
+        assert!((snap.utilization() - result.utilization()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerunning_a_scenario_is_deterministic() {
+        let mut scenario = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 5))
+            .scheduler("easy-sjbf")
+            .predictor("ml:u=sq,o=sq,g=q/p")
+            .correction("req-time")
+            .build()
+            .unwrap();
+        let a = scenario.run().unwrap();
+        let b = scenario.run().unwrap();
+        assert_eq!(a, b, "policy state must be rebuilt per run");
+    }
+
+    #[test]
+    fn typed_setters_mirror_names() {
+        let mut by_name = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 6))
+            .scheduler("conservative")
+            .predictor("clairvoyant")
+            .build()
+            .unwrap();
+        let mut typed = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 6))
+            .variant(Variant::Conservative)
+            .prediction(PredictionTechnique::Clairvoyant)
+            .build()
+            .unwrap();
+        assert_eq!(by_name.name(), typed.name());
+        assert_eq!(by_name.run().unwrap(), typed.run().unwrap());
+    }
+
+    #[test]
+    fn from_triple_runs_on_shared_jobs() {
+        let w = generate(&tiny_spec(), 8);
+        let triple = HeuristicTriple::easy_plus_plus();
+        let mut scenario = Scenario::from_triple(&triple);
+        let via_scenario = scenario.run_on(&w.jobs, w.sim_config()).unwrap();
+        let legacy = triple.run(&w.jobs, w.sim_config()).unwrap();
+        assert_eq!(via_scenario, legacy);
+        assert!(matches!(
+            scenario.run().unwrap_err(),
+            ScenarioError::MissingWorkload
+        ));
+    }
+}

@@ -1,0 +1,428 @@
+//! Unified workload sources: synthetic generation and real SWF logs.
+//!
+//! Everything downstream of the engine consumes a [`LoadedWorkload`] — a
+//! validated, submit-ordered, densely numbered job vector plus the
+//! machine size to simulate on. A [`WorkloadSource`] is anything that can
+//! produce one:
+//!
+//! * [`SyntheticSource`] wraps `predictsim_workload::generate` (the
+//!   Table 4 synthetic stand-ins, or any custom [`WorkloadSpec`]);
+//! * [`SwfSource`] reads a Standard Workload Format log — from a file or
+//!   from in-memory text — through `predictsim_swf`'s parser, applies the
+//!   cleaning conventions, and converts the records into engine jobs;
+//! * an already-generated [`GeneratedWorkload`] or [`LoadedWorkload`] is
+//!   itself a source (trivially).
+//!
+//! The [`crate::scenario::Scenario`] builder accepts any of these behind
+//! one `.workload(..)` call, which is what lets the same campaign run on
+//! a synthetic log one day and a Parallel Workloads Archive trace the
+//! next — the ROADMAP's "real SWF logs" loader path.
+
+use std::path::{Path, PathBuf};
+
+use predictsim_sim::job::JobConversionError;
+use predictsim_sim::{jobs_from_swf, Job, SimConfig};
+use predictsim_swf::reader::ParseError;
+use predictsim_swf::{clean, parse_log, CleaningReport, CleaningRules};
+use predictsim_workload::{generate, GeneratedWorkload, WorkloadSpec};
+
+/// Why a workload source failed to produce simulator-ready jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The backing file could not be read.
+    Io {
+        /// Path that failed.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// The SWF text did not parse.
+    Parse(ParseError),
+    /// The machine size is unknown (no `MaxProcs` header, no records,
+    /// and no explicit override).
+    UnknownMachineSize,
+    /// A cleaned record still could not be converted into an engine job.
+    Conversion(JobConversionError),
+    /// The produced jobs failed structural validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Io { path, message } => {
+                write!(f, "cannot read {}: {message}", path.display())
+            }
+            SourceError::Parse(e) => write!(f, "{e}"),
+            SourceError::UnknownMachineSize => write!(
+                f,
+                "machine size unknown: no MaxProcs header, no records, no override"
+            ),
+            SourceError::Conversion(e) => write!(f, "{e}"),
+            SourceError::Invalid(message) => write!(f, "invalid workload: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<ParseError> for SourceError {
+    fn from(e: ParseError) -> Self {
+        SourceError::Parse(e)
+    }
+}
+
+impl From<JobConversionError> for SourceError {
+    fn from(e: JobConversionError) -> Self {
+        SourceError::Conversion(e)
+    }
+}
+
+/// A simulator-ready workload, whatever it was loaded from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedWorkload {
+    /// Display name (log name or spec name).
+    pub name: String,
+    /// Machine size to simulate on.
+    pub machine_size: u32,
+    /// Jobs sorted by submission with dense ids `0..n`.
+    pub jobs: Vec<Job>,
+    /// What cleaning did, when the workload came through the SWF path.
+    pub cleaning: Option<CleaningReport>,
+}
+
+impl LoadedWorkload {
+    /// The `SimConfig` for this workload's machine.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            machine_size: self.machine_size,
+        }
+    }
+}
+
+impl From<GeneratedWorkload> for LoadedWorkload {
+    fn from(w: GeneratedWorkload) -> Self {
+        Self {
+            name: w.name,
+            machine_size: w.machine_size,
+            jobs: w.jobs,
+            cleaning: None,
+        }
+    }
+}
+
+impl From<&GeneratedWorkload> for LoadedWorkload {
+    fn from(w: &GeneratedWorkload) -> Self {
+        Self {
+            name: w.name.clone(),
+            machine_size: w.machine_size,
+            jobs: w.jobs.clone(),
+            cleaning: None,
+        }
+    }
+}
+
+/// Anything that can produce a simulator-ready workload.
+pub trait WorkloadSource {
+    /// Loads (or copies) the workload.
+    fn load(&self) -> Result<LoadedWorkload, SourceError>;
+
+    /// One-line description for logs and error messages.
+    fn describe(&self) -> String;
+}
+
+impl<T: WorkloadSource + ?Sized> WorkloadSource for Box<T> {
+    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+        (**self).load()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl WorkloadSource for LoadedWorkload {
+    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+        Ok(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("loaded workload {} ({} jobs)", self.name, self.jobs.len())
+    }
+}
+
+impl WorkloadSource for GeneratedWorkload {
+    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+        Ok(self.into())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "generated workload {} ({} jobs)",
+            self.name,
+            self.jobs.len()
+        )
+    }
+}
+
+/// Synthetic workload generation as a source: a [`WorkloadSpec`] plus a
+/// seed, deferred until [`WorkloadSource::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSource {
+    /// The generating spec.
+    pub spec: WorkloadSpec,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl SyntheticSource {
+    /// A source for `spec` at `seed`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        Self { spec, seed }
+    }
+}
+
+impl WorkloadSource for SyntheticSource {
+    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+        self.spec.validate().map_err(SourceError::Invalid)?;
+        Ok(generate(&self.spec, self.seed).into())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "synthetic {} ({} jobs, seed {})",
+            self.spec.name, self.spec.jobs, self.seed
+        )
+    }
+}
+
+/// Where an [`SwfSource`] reads its text from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SwfInput {
+    /// A file on disk.
+    File(PathBuf),
+    /// In-memory text under a display name (fixtures, tests, pipes).
+    Text {
+        /// Display name for the loaded workload.
+        name: String,
+        /// The SWF document.
+        text: String,
+    },
+}
+
+/// A Standard Workload Format log as a source: parse, clean, convert,
+/// validate.
+///
+/// ```
+/// use predictsim_experiments::source::{SwfSource, WorkloadSource};
+///
+/// let text = "\
+/// ; MaxProcs: 4
+/// 1 0 -1 100 2 -1 -1 2 200 -1 1 7 1 3 1 -1 -1 -1
+/// 2 5 -1 50 1 -1 -1 1 100 -1 1 8 1 3 1 -1 -1 -1
+/// ";
+/// let w = SwfSource::from_text("mini", text).load().unwrap();
+/// assert_eq!(w.machine_size, 4);
+/// assert_eq!(w.jobs.len(), 2);
+/// assert_eq!(w.cleaning.unwrap().kept, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfSource {
+    input: SwfInput,
+    rules: CleaningRules,
+    machine_size: Option<u32>,
+}
+
+impl SwfSource {
+    /// A source reading `path` with the default cleaning conventions.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        Self {
+            input: SwfInput::File(path.as_ref().to_path_buf()),
+            rules: CleaningRules::default(),
+            machine_size: None,
+        }
+    }
+
+    /// A source over in-memory SWF text (fixtures, tests).
+    pub fn from_text(name: impl Into<String>, text: impl Into<String>) -> Self {
+        Self {
+            input: SwfInput::Text {
+                name: name.into(),
+                text: text.into(),
+            },
+            rules: CleaningRules::default(),
+            machine_size: None,
+        }
+    }
+
+    /// Replaces the cleaning conventions.
+    pub fn with_rules(mut self, rules: CleaningRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Overrides the machine size (for headerless logs, or to simulate a
+    /// log on a smaller machine — oversize jobs are then dropped by the
+    /// cleaning rules).
+    pub fn with_machine_size(mut self, machine_size: u32) -> Self {
+        self.machine_size = Some(machine_size);
+        self
+    }
+
+    fn name(&self) -> String {
+        match &self.input {
+            SwfInput::File(path) => path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+            SwfInput::Text { name, .. } => name.clone(),
+        }
+    }
+}
+
+impl WorkloadSource for SwfSource {
+    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+        let mut log = match &self.input {
+            SwfInput::File(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| SourceError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+                parse_log(&text)?
+            }
+            SwfInput::Text { text, .. } => parse_log(text)?,
+        };
+        let machine_size = match self.machine_size {
+            Some(m) => m as u64,
+            None => log.machine_size().ok_or(SourceError::UnknownMachineSize)?,
+        };
+        let report = clean(&mut log, machine_size, self.rules);
+        let jobs = jobs_from_swf(&log.records)?;
+        for job in &jobs {
+            job.validate().map_err(SourceError::Invalid)?;
+            if job.procs as u64 > machine_size {
+                return Err(SourceError::Invalid(format!(
+                    "{} requests {} procs on a {machine_size}-proc machine \
+                     (enable the oversize cleaning rule?)",
+                    job.id, job.procs
+                )));
+            }
+        }
+        let machine_size = u32::try_from(machine_size).map_err(|_| {
+            SourceError::Invalid(format!("machine size {machine_size} exceeds u32"))
+        })?;
+        Ok(LoadedWorkload {
+            name: self.name(),
+            machine_size,
+            jobs,
+            cleaning: Some(report),
+        })
+    }
+
+    fn describe(&self) -> String {
+        match &self.input {
+            SwfInput::File(path) => format!("SWF log {}", path.display()),
+            SwfInput::Text { name, .. } => format!("SWF text {name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictsim_swf::write_log;
+
+    const MINI: &str = "\
+; MaxProcs: 8
+1 0 -1 100 2 -1 -1 2 200 -1 1 3 1 1 1 -1 -1 -1
+2 10 -1 50 1 -1 -1 1 100 -1 1 4 1 1 1 -1 -1 -1
+3 20 -1 -1 1 -1 -1 1 100 -1 0 4 1 1 1 -1 -1 -1
+";
+
+    #[test]
+    fn synthetic_source_matches_direct_generation() {
+        let spec = WorkloadSpec::toy();
+        let direct = generate(&spec, 11);
+        let loaded = SyntheticSource::new(spec, 11).load().unwrap();
+        assert_eq!(loaded.jobs, direct.jobs);
+        assert_eq!(loaded.machine_size, direct.machine_size);
+        assert_eq!(loaded.name, direct.name);
+        assert!(loaded.cleaning.is_none());
+        assert_eq!(loaded.sim_config().machine_size, direct.machine_size);
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_error() {
+        let mut spec = WorkloadSpec::toy();
+        spec.jobs = 0;
+        let err = SyntheticSource::new(spec, 1).load().unwrap_err();
+        assert!(matches!(err, SourceError::Invalid(_)));
+    }
+
+    #[test]
+    fn swf_text_source_cleans_and_converts() {
+        let w = SwfSource::from_text("mini", MINI).load().unwrap();
+        assert_eq!(w.machine_size, 8);
+        // Record 3 has no run time and is dropped by the cleaning rules.
+        assert_eq!(w.jobs.len(), 2);
+        let report = w.cleaning.expect("SWF path reports cleaning");
+        assert_eq!(report.dropped_unrunnable, 1);
+        assert_eq!(w.jobs[0].run, 100);
+        assert_eq!(w.jobs[1].procs, 1);
+    }
+
+    #[test]
+    fn swf_file_source_round_trips_a_generated_workload() {
+        let w = generate(&WorkloadSpec::toy(), 3);
+        let dir = std::env::temp_dir();
+        let path = dir.join("predictsim_source_test.swf");
+        std::fs::write(&path, write_log(&w.to_swf())).unwrap();
+        let loaded = SwfSource::new(&path).load().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.machine_size, w.machine_size);
+        assert_eq!(loaded.jobs, w.jobs, "SWF round trip must be lossless");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = SwfSource::new("/nonexistent/never.swf").load().unwrap_err();
+        assert!(matches!(err, SourceError::Io { .. }));
+        assert!(err.to_string().contains("never.swf"));
+    }
+
+    #[test]
+    fn unparseable_text_is_a_parse_error() {
+        let err = SwfSource::from_text("bad", "1 2 three\n")
+            .load()
+            .unwrap_err();
+        assert!(matches!(err, SourceError::Parse(_)));
+    }
+
+    #[test]
+    fn headerless_log_needs_an_override() {
+        // Headerless with records: falls back to max procs observed.
+        let headerless = "1 0 -1 100 2 -1 -1 2 200 -1 1 3 1 1 1 -1 -1 -1\n";
+        let w = SwfSource::from_text("frag", headerless).load().unwrap();
+        assert_eq!(w.machine_size, 2);
+        // Empty log: no way to infer.
+        let err = SwfSource::from_text("empty", "").load().unwrap_err();
+        assert_eq!(err, SourceError::UnknownMachineSize);
+        // Explicit override resolves it.
+        let w = SwfSource::from_text("empty", "")
+            .with_machine_size(16)
+            .load()
+            .unwrap();
+        assert_eq!(w.machine_size, 16);
+        assert!(w.jobs.is_empty());
+    }
+
+    #[test]
+    fn generated_workload_is_a_source() {
+        let w = generate(&WorkloadSpec::toy(), 5);
+        let loaded = w.load().unwrap();
+        assert_eq!(loaded.jobs.len(), w.jobs.len());
+        assert!(w.describe().contains("toy"));
+        // LoadedWorkload is idempotently a source too.
+        assert_eq!(loaded.load().unwrap(), loaded);
+    }
+}

@@ -14,6 +14,7 @@ use predictsim_workload::GeneratedWorkload;
 
 use crate::campaign::CampaignResult;
 use crate::cv::{cross_validate, CvOutcome};
+use crate::scenario::Scenario;
 use crate::triple::{HeuristicTriple, PredictionTechnique, Variant};
 
 /// One row of Table 1: EASY vs EASY-Clairvoyant.
@@ -46,11 +47,11 @@ pub fn table1(workloads: &[GeneratedWorkload]) -> Vec<Table1Row> {
             let cfg = SimConfig {
                 machine_size: w.machine_size,
             };
-            let easy = HeuristicTriple::standard_easy()
-                .run(&w.jobs, cfg)
+            let easy = Scenario::from_triple(&HeuristicTriple::standard_easy())
+                .run_on(&w.jobs, cfg)
                 .expect("EASY simulation failed");
-            let clair = HeuristicTriple::clairvoyant(Variant::Easy)
-                .run(&w.jobs, cfg)
+            let clair = Scenario::from_triple(&HeuristicTriple::clairvoyant(Variant::Easy))
+                .run_on(&w.jobs, cfg)
                 .expect("clairvoyant simulation failed");
             Table1Row {
                 log: w.name.clone(),
@@ -222,8 +223,8 @@ pub fn table8(workload: &GeneratedWorkload) -> Vec<Table8Row> {
     ]
     .into_par_iter()
     .map(|(label, triple)| {
-        let sim = triple
-            .run(&workload.jobs, cfg)
+        let sim = Scenario::from_triple(&triple)
+            .run_on(&workload.jobs, cfg)
             .expect("table 8 simulation failed");
         Table8Row {
             technique: label.to_string(),

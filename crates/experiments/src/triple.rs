@@ -18,7 +18,9 @@ use predictsim_sim::predict::{
     ClairvoyantPredictor, CorrectionPolicy, RequestedTimePredictor, RuntimePredictor,
 };
 use predictsim_sim::scheduler::{ConservativeScheduler, EasyScheduler, FcfsScheduler, Scheduler};
-use predictsim_sim::{simulate, Job, SimConfig, SimError, SimResult};
+use predictsim_sim::{Job, SimConfig, SimError, SimResult};
+
+use crate::scenario::{Scenario, ScenarioError};
 
 /// A prediction technique of §6.2.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,18 +197,17 @@ impl HeuristicTriple {
         s
     }
 
-    /// Runs this triple on a workload.
+    /// Runs this triple on a workload (a veneer over the
+    /// [`Scenario`] API — the single simulation entry point).
     pub fn run(&self, jobs: &[Job], config: SimConfig) -> Result<SimResult, SimError> {
-        let mut predictor = self.prediction.build();
-        let mut scheduler = self.variant.build();
-        let correction = self.correction.as_ref().map(|c| c.build());
-        simulate(
-            jobs,
-            config,
-            scheduler.as_mut(),
-            predictor.as_mut(),
-            correction.as_deref().map(|c| c as &dyn CorrectionPolicy),
-        )
+        Scenario::from_triple(self)
+            .run_on(jobs, config)
+            .map_err(|e| match e {
+                ScenarioError::Sim(sim) => sim,
+                // A typed triple needs no registry or workload
+                // resolution, so no other error can occur.
+                other => unreachable!("typed triple cannot fail resolution: {other}"),
+            })
     }
 }
 

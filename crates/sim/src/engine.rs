@@ -23,6 +23,7 @@
 
 use crate::event::{EventKind, EventQueue};
 use crate::job::{Job, JobId};
+use crate::observe::{NullObserver, SimEvent, SimObserver};
 use crate::outcome::{JobOutcome, SimResult};
 use crate::predict::{CorrectionPolicy, RuntimePredictor};
 use crate::scheduler::Scheduler;
@@ -119,6 +120,31 @@ pub fn simulate(
     predictor: &mut dyn RuntimePredictor,
     correction: Option<&dyn CorrectionPolicy>,
 ) -> Result<SimResult, SimError> {
+    simulate_observed(
+        jobs,
+        config,
+        scheduler,
+        predictor,
+        correction,
+        &mut NullObserver,
+    )
+}
+
+/// Runs one complete simulation, reporting every engine state change to
+/// `observer` (see [`crate::observe`]).
+///
+/// Identical to [`simulate`] in every other respect: the observer only
+/// receives shared references, so observation cannot perturb the
+/// schedule, and a run with [`NullObserver`] is bit-identical to the
+/// plain entry point.
+pub fn simulate_observed(
+    jobs: &[Job],
+    config: SimConfig,
+    scheduler: &mut dyn Scheduler,
+    predictor: &mut dyn RuntimePredictor,
+    correction: Option<&dyn CorrectionPolicy>,
+    observer: &mut dyn SimObserver,
+) -> Result<SimResult, SimError> {
     validate_workload(jobs, config)?;
 
     let m = config.machine_size;
@@ -172,6 +198,9 @@ pub fn simulate(
                         corrections: r.corrections,
                         killed: job.is_killed(),
                     });
+                    observer.on_event(&SimEvent::Finished {
+                        outcome: outcomes.last().expect("outcome just pushed"),
+                    });
                     let view = SystemView {
                         now,
                         machine_size: m,
@@ -204,6 +233,13 @@ pub fn simulate(
                             EventKind::PredictionExpiry(id, r.corrections),
                         );
                     }
+                    observer.on_event(&SimEvent::Corrected {
+                        job,
+                        now,
+                        expired_prediction: expired,
+                        new_prediction: new_pred,
+                        corrections: r.corrections,
+                    });
                 }
                 EventKind::Submit(id) => {
                     let job = &jobs[id.index()];
@@ -215,6 +251,11 @@ pub fn simulate(
                     let raw = predictor.predict(job, &view);
                     let prediction = clamp_prediction(raw, job.requested);
                     books[id.index()].initial_prediction = prediction;
+                    observer.on_event(&SimEvent::Submitted {
+                        job,
+                        prediction,
+                        now,
+                    });
                     queue.push(WaitingJob {
                         id,
                         procs: job.procs,
@@ -245,6 +286,7 @@ pub fn simulate(
             &mut free,
             &mut books,
             &mut events,
+            observer,
         )?;
     }
 
@@ -252,13 +294,15 @@ pub fn simulate(
     debug_assert!(running.is_empty(), "simulation ended with running jobs");
     outcomes.sort_by_key(|o| o.id);
 
-    Ok(SimResult {
+    let result = SimResult {
         machine_size: m,
         outcomes,
         scheduler: scheduler.name(),
         predictor: predictor.name(),
         correction: correction.map(|c| c.name()),
-    })
+    };
+    observer.on_event(&SimEvent::Completed { result: &result });
+    Ok(result)
 }
 
 fn validate_workload(jobs: &[Job], config: SimConfig) -> Result<(), SimError> {
@@ -311,6 +355,7 @@ fn apply_starts(
     free: &mut u32,
     books: &mut [JobBook],
     events: &mut EventQueue,
+    observer: &mut dyn SimObserver,
 ) -> Result<(), SimError> {
     for &id in starts {
         let Some(pos) = queue.iter().position(|w| w.id == id) else {
@@ -342,6 +387,11 @@ fn apply_starts(
         if predicted_end < finish_at {
             events.push(predicted_end, EventKind::PredictionExpiry(id, 0));
         }
+        observer.on_event(&SimEvent::Started {
+            job,
+            now,
+            predicted_end,
+        });
     }
     Ok(())
 }

@@ -1,0 +1,471 @@
+//! Observation hooks for the simulation engine.
+//!
+//! [`crate::engine::simulate_observed`] emits a [`SimEvent`] at every
+//! state change of the simulation — submission, start, §5.2 correction,
+//! completion, and the final result — to a caller-supplied
+//! [`SimObserver`]. This turns metrics collection from a post-hoc scan of
+//! the [`SimResult`] into an incremental computation: [`MetricsObserver`]
+//! maintains the campaign aggregates (AVEbsld, mean wait, utilization,
+//! correction counts) as jobs finish, and a closure observer can stream
+//! progress, enforce invariants, or abort-log long simulations without
+//! touching the engine.
+//!
+//! Observers are strictly read-only: the engine hands out shared
+//! references, so an observer can never perturb the schedule. A
+//! simulation run with [`NullObserver`] is bit-identical to one run
+//! through the plain [`crate::engine::simulate`] entry point.
+//!
+//! ```
+//! use predictsim_sim::engine::{simulate_observed, SimConfig};
+//! use predictsim_sim::job::{Job, JobId};
+//! use predictsim_sim::observe::{MetricsObserver, SimEvent};
+//! use predictsim_sim::predict::RequestedTimePredictor;
+//! use predictsim_sim::scheduler::EasyScheduler;
+//! use predictsim_sim::time::Time;
+//!
+//! let jobs: Vec<Job> = (0..10)
+//!     .map(|i| Job {
+//!         id: JobId(i),
+//!         submit: Time(i as i64 * 60),
+//!         run: 120,
+//!         requested: 600,
+//!         procs: 1,
+//!         user: i % 2,
+//!         swf_id: i as u64,
+//!     })
+//!     .collect();
+//! let mut metrics = MetricsObserver::new(4);
+//! let result = simulate_observed(
+//!     &jobs,
+//!     SimConfig { machine_size: 4 },
+//!     &mut EasyScheduler::new(),
+//!     &mut RequestedTimePredictor,
+//!     None,
+//!     &mut metrics,
+//! )
+//! .unwrap();
+//! assert_eq!(metrics.finished(), 10);
+//! assert!((metrics.ave_bsld() - result.ave_bsld()).abs() < 1e-9);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use predictsim_metrics::{bounded_slowdown, DEFAULT_TAU};
+
+use crate::job::Job;
+use crate::outcome::{JobOutcome, SimResult};
+use crate::time::Time;
+
+/// One engine state change, in event order.
+///
+/// All payloads are borrowed from the engine's internal state; copy out
+/// whatever must outlive the callback.
+#[derive(Debug)]
+pub enum SimEvent<'a> {
+    /// A job was submitted and its initial prediction recorded (already
+    /// clamped into `[1, p̃_j]`).
+    Submitted {
+        /// The submitted job.
+        job: &'a Job,
+        /// The clamped initial prediction, seconds.
+        prediction: i64,
+        /// Submission instant.
+        now: Time,
+    },
+    /// The scheduler started a job.
+    Started {
+        /// The started job.
+        job: &'a Job,
+        /// Start instant.
+        now: Time,
+        /// When the current prediction says the job will end.
+        predicted_end: Time,
+    },
+    /// A running job outlived its prediction and a §5.2 correction
+    /// produced a replacement estimate (already clamped).
+    Corrected {
+        /// The under-predicted job.
+        job: &'a Job,
+        /// Instant of the expiry.
+        now: Time,
+        /// The prediction that just expired (seconds from job start).
+        expired_prediction: i64,
+        /// The corrected prediction (seconds from job start).
+        new_prediction: i64,
+        /// How many corrections this job has now received.
+        corrections: u32,
+    },
+    /// A job completed (or was killed at its requested time).
+    Finished {
+        /// The recorded outcome.
+        outcome: &'a JobOutcome,
+    },
+    /// The simulation drained its event queue; the result is final.
+    Completed {
+        /// The assembled result (outcomes sorted by job id).
+        result: &'a SimResult,
+    },
+}
+
+/// Receives every [`SimEvent`] of a simulation run.
+///
+/// Implemented by [`NullObserver`], [`MetricsObserver`],
+/// [`SharedMetrics`], and — through the blanket impl — any
+/// `FnMut(&SimEvent<'_>)` closure.
+pub trait SimObserver {
+    /// Called once per engine state change, in event order.
+    fn on_event(&mut self, event: &SimEvent<'_>);
+}
+
+impl<F: FnMut(&SimEvent<'_>)> SimObserver for F {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self(event)
+    }
+}
+
+/// The do-nothing observer: [`crate::engine::simulate`] runs with this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    fn on_event(&mut self, _event: &SimEvent<'_>) {}
+}
+
+/// Incremental scheduling metrics, maintained per event.
+///
+/// Every aggregate the campaign layer reports is available *during* the
+/// simulation — after each `Finished` event the values reflect all jobs
+/// completed so far — with no post-hoc scan over the outcome vector.
+/// Sums accumulate in completion order; for the sorted-by-id aggregation
+/// the tables pin byte-for-byte, derive metrics from the final
+/// [`SimResult`] instead.
+#[derive(Debug, Clone)]
+pub struct MetricsObserver {
+    machine_size: u32,
+    tau: f64,
+    submitted: usize,
+    started: usize,
+    finished: usize,
+    killed: usize,
+    corrections: u64,
+    bsld_sum: f64,
+    max_bsld: f64,
+    wait_sum: f64,
+    busy_work: f64,
+    first_submit: Option<i64>,
+    last_end: i64,
+}
+
+impl MetricsObserver {
+    /// A fresh accumulator for a machine of `machine_size` processors,
+    /// with the paper's τ = 10 s.
+    pub fn new(machine_size: u32) -> Self {
+        Self {
+            machine_size,
+            tau: DEFAULT_TAU,
+            submitted: 0,
+            started: 0,
+            finished: 0,
+            killed: 0,
+            corrections: 0,
+            bsld_sum: 0.0,
+            max_bsld: 0.0,
+            wait_sum: 0.0,
+            busy_work: 0.0,
+            first_submit: None,
+            last_end: 0,
+        }
+    }
+
+    /// Same accumulator with an explicit bounded-slowdown threshold τ.
+    pub fn with_tau(machine_size: u32, tau: f64) -> Self {
+        Self {
+            tau,
+            ..Self::new(machine_size)
+        }
+    }
+
+    /// A `(handle, observer)` pair for use through an owning API such as
+    /// `Scenario::builder().observer(..)`: hand the boxed observer to the
+    /// runner and read the metrics from the retained handle afterwards
+    /// (or concurrently, from another thread).
+    pub fn shared(machine_size: u32) -> (SharedMetrics, Box<dyn SimObserver + Send>) {
+        let shared = SharedMetrics(Arc::new(Mutex::new(Self::new(machine_size))));
+        (shared.clone(), Box::new(shared))
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Jobs started so far.
+    pub fn started(&self) -> usize {
+        self.started
+    }
+
+    /// Jobs finished so far.
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+
+    /// Jobs waiting or running right now.
+    pub fn in_flight(&self) -> usize {
+        self.submitted - self.finished
+    }
+
+    /// Jobs killed at their requested-time bound so far.
+    pub fn killed(&self) -> usize {
+        self.killed
+    }
+
+    /// §5.2 corrections applied so far.
+    pub fn corrections(&self) -> u64 {
+        self.corrections
+    }
+
+    /// Mean bounded slowdown of the jobs finished so far (≥ 1, or 0.0
+    /// before the first completion).
+    pub fn ave_bsld(&self) -> f64 {
+        if self.finished == 0 {
+            0.0
+        } else {
+            self.bsld_sum / self.finished as f64
+        }
+    }
+
+    /// Maximum bounded slowdown seen so far.
+    pub fn max_bsld(&self) -> f64 {
+        self.max_bsld
+    }
+
+    /// Mean waiting time (seconds) of the jobs finished so far.
+    pub fn mean_wait(&self) -> f64 {
+        if self.finished == 0 {
+            0.0
+        } else {
+            self.wait_sum / self.finished as f64
+        }
+    }
+
+    /// Utilization achieved so far: completed work over the span from the
+    /// first submission to the latest completion.
+    pub fn utilization(&self) -> f64 {
+        let Some(first) = self.first_submit else {
+            return 0.0;
+        };
+        let span = (self.last_end - first).max(1) as f64;
+        self.busy_work / (span * self.machine_size as f64)
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::Submitted { job, .. } => {
+                self.submitted += 1;
+                let submit = job.submit.0;
+                self.first_submit = Some(self.first_submit.map_or(submit, |f| f.min(submit)));
+            }
+            SimEvent::Started { .. } => self.started += 1,
+            SimEvent::Corrected { .. } => self.corrections += 1,
+            SimEvent::Finished { outcome } => {
+                self.finished += 1;
+                if outcome.killed {
+                    self.killed += 1;
+                }
+                let wait = outcome.wait() as f64;
+                let bsld = bounded_slowdown(wait, outcome.run as f64, self.tau);
+                self.bsld_sum += bsld;
+                self.max_bsld = self.max_bsld.max(bsld);
+                self.wait_sum += wait;
+                self.busy_work += outcome.run as f64 * outcome.procs as f64;
+                self.last_end = self.last_end.max(outcome.end.0);
+            }
+            SimEvent::Completed { .. } => {}
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle over a [`MetricsObserver`] — see
+/// [`MetricsObserver::shared`].
+#[derive(Debug, Clone)]
+pub struct SharedMetrics(Arc<Mutex<MetricsObserver>>);
+
+impl SharedMetrics {
+    /// A copy of the current metrics state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observer callback panicked while holding the lock.
+    pub fn snapshot(&self) -> MetricsObserver {
+        self.0.lock().expect("metrics lock poisoned").clone()
+    }
+}
+
+impl SimObserver for SharedMetrics {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self.0
+            .lock()
+            .expect("metrics lock poisoned")
+            .on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, simulate_observed, SimConfig};
+    use crate::job::JobId;
+    use crate::predict::{RequestedTimeCorrection, RequestedTimePredictor, RuntimePredictor};
+    use crate::scheduler::EasyScheduler;
+    use crate::state::SystemView;
+
+    fn jobs(n: u32) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job {
+                id: JobId(i),
+                submit: Time(i as i64 * 40),
+                run: 100 + (i as i64 % 3) * 50,
+                requested: 400,
+                procs: 1 + i % 3,
+                user: i % 2,
+                swf_id: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closure_observer_sees_every_lifecycle_event() {
+        let js = jobs(12);
+        let mut submits = 0usize;
+        let mut starts = 0usize;
+        let mut finishes = 0usize;
+        let mut completed = 0usize;
+        let mut observer = |e: &SimEvent<'_>| match e {
+            SimEvent::Submitted { .. } => submits += 1,
+            SimEvent::Started { .. } => starts += 1,
+            SimEvent::Finished { .. } => finishes += 1,
+            SimEvent::Completed { result } => {
+                completed += 1;
+                assert_eq!(result.outcomes.len(), 12);
+            }
+            SimEvent::Corrected { .. } => {}
+        };
+        simulate_observed(
+            &js,
+            SimConfig { machine_size: 4 },
+            &mut EasyScheduler::new(),
+            &mut RequestedTimePredictor,
+            None,
+            &mut observer,
+        )
+        .unwrap();
+        assert_eq!((submits, starts, finishes, completed), (12, 12, 12, 1));
+    }
+
+    #[test]
+    fn metrics_observer_matches_post_hoc_scan() {
+        let js = jobs(20);
+        let cfg = SimConfig { machine_size: 5 };
+        let mut metrics = MetricsObserver::new(cfg.machine_size);
+        let observed = simulate_observed(
+            &js,
+            cfg,
+            &mut EasyScheduler::sjbf(),
+            &mut RequestedTimePredictor,
+            None,
+            &mut metrics,
+        )
+        .unwrap();
+        let plain = simulate(
+            &js,
+            cfg,
+            &mut EasyScheduler::sjbf(),
+            &mut RequestedTimePredictor,
+            None,
+        )
+        .unwrap();
+        assert_eq!(observed, plain, "observation must not perturb the engine");
+        assert_eq!(metrics.finished(), plain.outcomes.len());
+        assert_eq!(metrics.in_flight(), 0);
+        assert!((metrics.ave_bsld() - plain.ave_bsld()).abs() < 1e-9);
+        assert!((metrics.mean_wait() - plain.mean_wait()).abs() < 1e-9);
+        assert!((metrics.utilization() - plain.utilization()).abs() < 1e-9);
+        assert_eq!(metrics.corrections(), plain.total_corrections());
+    }
+
+    #[test]
+    fn corrections_are_observed() {
+        struct Ten;
+        impl RuntimePredictor for Ten {
+            fn predict(&mut self, _job: &Job, _s: &SystemView<'_>) -> f64 {
+                10.0
+            }
+            fn observe(&mut self, _j: &Job, _a: i64, _s: &SystemView<'_>) {}
+            fn name(&self) -> String {
+                "ten".into()
+            }
+        }
+        let js = vec![Job {
+            id: JobId(0),
+            submit: Time(0),
+            run: 100,
+            requested: 1000,
+            procs: 1,
+            user: 0,
+            swf_id: 0,
+        }];
+        let corr = RequestedTimeCorrection;
+        let mut corrected = Vec::new();
+        let mut observer = |e: &SimEvent<'_>| {
+            if let SimEvent::Corrected {
+                expired_prediction,
+                new_prediction,
+                corrections,
+                ..
+            } = e
+            {
+                corrected.push((*expired_prediction, *new_prediction, *corrections));
+            }
+        };
+        simulate_observed(
+            &js,
+            SimConfig { machine_size: 2 },
+            &mut EasyScheduler::new(),
+            &mut Ten,
+            Some(&corr),
+            &mut observer,
+        )
+        .unwrap();
+        assert_eq!(corrected, vec![(10, 1000, 1)]);
+    }
+
+    #[test]
+    fn shared_metrics_handle_reads_after_run() {
+        let js = jobs(8);
+        let cfg = SimConfig { machine_size: 4 };
+        let (handle, mut observer) = MetricsObserver::shared(cfg.machine_size);
+        simulate_observed(
+            &js,
+            cfg,
+            &mut EasyScheduler::new(),
+            &mut RequestedTimePredictor,
+            None,
+            observer.as_mut(),
+        )
+        .unwrap();
+        let snap = handle.snapshot();
+        assert_eq!(snap.finished(), 8);
+        assert!(snap.ave_bsld() >= 1.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = MetricsObserver::new(16);
+        assert_eq!(m.ave_bsld(), 0.0);
+        assert_eq!(m.mean_wait(), 0.0);
+        assert_eq!(m.utilization(), 0.0);
+        assert_eq!(m.in_flight(), 0);
+    }
+}

@@ -126,7 +126,10 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> GeneratedWorkload {
             run,
             requested,
             procs: r.procs,
-            user: r.user,
+            // Engine user ids are 1-based: `job_from_swf` reserves 0 for
+            // records with no user, so generated users start at 1 and the
+            // SWF export stays a true inverse without special cases.
+            user: r.user + 1,
             swf_id: i as u64 + 1,
         });
     }
@@ -232,7 +235,16 @@ impl GeneratedWorkload {
             r.requested_procs = j.procs as i64;
             r.requested_time = j.requested;
             r.status = if j.run < j.requested { 1 } else { 0 };
-            r.user_id = j.user as i64;
+            // Exact inverse of `job_from_swf`'s user mapping (SWF user
+            // `u` maps to engine user `u + 1`, MISSING to 0), so a
+            // write → parse → convert round trip reproduces the jobs
+            // byte-for-byte. Generated users are 1-based, so MISSING
+            // only appears for jobs that came from user-less records.
+            r.user_id = if j.user == 0 {
+                MISSING
+            } else {
+                j.user as i64 - 1
+            };
             log.records.push(r);
         }
         log

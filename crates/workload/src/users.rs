@@ -67,7 +67,8 @@ impl JobClass {
 /// One synthetic user.
 #[derive(Debug, Clone, PartialEq)]
 pub struct User {
-    /// User id (matches `Job::user`).
+    /// Population index (engine `Job::user` is `id + 1`: 0 is reserved
+    /// for "unknown user" by the SWF conversion).
     pub id: u32,
     /// The user's applications.
     pub classes: Vec<JobClass>,

@@ -91,10 +91,10 @@ proptest! {
             prop_assert_eq!(a.requested, b.requested);
             prop_assert_eq!(a.procs, b.procs);
             prop_assert_eq!(a.submit, b.submit);
-            // SWF conversion shifts user ids by one (0 is reserved for
-            // "unknown user"); the mapping must be consistent, which is
-            // all the per-user features need.
-            prop_assert_eq!(a.user, b.user + 1);
+            // `to_swf` writes the exact inverse of `job_from_swf`'s
+            // user mapping, so the round trip preserves user ids and a
+            // replay from the exported file is byte-identical.
+            prop_assert_eq!(a.user, b.user);
         }
     }
 

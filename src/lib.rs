@@ -17,30 +17,44 @@
 //! | [`metrics`] | `predictsim-metrics` | bounded slowdown, ECDF, Pearson, MAE |
 //! | [`experiments`] | `predictsim-experiments` | the §6 campaign: 128 heuristic triples/log, cross-validation, every table and figure |
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Scenario` API
+//!
+//! Every simulation runs through one entry point: a [`Scenario`] is a
+//! workload source crossed with registry-named policies (run
+//! `repro --list` for the full inventory).
 //!
 //! ```
 //! use predictsim::prelude::*;
 //!
-//! // 1. A workload: synthetic here; parse a real SWF log with
-//! //    `predictsim::swf` for production traces.
-//! let workload = generate(&WorkloadSpec::toy(), 42);
+//! // 1. A workload source: synthetic here; `SwfSource::new("log.swf")`
+//! //    loads a real Parallel Workloads Archive trace the same way.
+//! let source = SyntheticSource::new(WorkloadSpec::toy(), 42);
 //!
 //! // 2. Standard EASY (user-requested times) ...
-//! let easy = HeuristicTriple::standard_easy()
-//!     .run(&workload.jobs, workload.sim_config())
+//! let easy = Scenario::builder()
+//!     .workload(source.clone())
+//!     .scheduler("easy")
+//!     .predictor("requested")
+//!     .build()
+//!     .unwrap()
+//!     .run()
 //!     .unwrap();
 //!
 //! // 3. ... versus the paper's prediction-augmented scheduler:
 //! //    E-Loss-trained NAG regression + incremental correction + SJBF.
-//! let ml = HeuristicTriple::paper_winner()
-//!     .run(&workload.jobs, workload.sim_config())
+//! let ml = Scenario::builder()
+//!     .workload(source)
+//!     .scheduler("easy-sjbf")
+//!     .predictor("ml:u=lin,o=sq,g=area")
+//!     .correction("incremental")
+//!     .build()
+//!     .unwrap()
+//!     .run()
 //!     .unwrap();
 //!
 //! println!("EASY AVEbsld = {:.1}", easy.ave_bsld());
 //! println!("ML   AVEbsld = {:.1}", ml.ave_bsld());
-//! assert_eq!(easy.outcomes.len(), workload.jobs.len());
-//! assert_eq!(ml.outcomes.len(), workload.jobs.len());
+//! assert_eq!(easy.outcomes.len(), ml.outcomes.len());
 //! ```
 //!
 //! ## Reproducing the paper
@@ -71,13 +85,15 @@ pub mod prelude {
     pub use predictsim_core::predictor::{Ave2Predictor, MlConfig, MlPredictor};
     pub use predictsim_core::{AsymmetricLoss, WeightingScheme};
     pub use predictsim_experiments::{
-        campaign_triples, cross_validate, run_campaign, ExperimentSetup, HeuristicTriple,
-        PredictionTechnique, Variant,
+        campaign_triples, cross_validate, run_campaign, CorrectionKind, ExperimentSetup,
+        HeuristicTriple, LoadedWorkload, PredictionTechnique, RegistryError, Scenario,
+        ScenarioBuilder, ScenarioError, SourceError, SwfSource, SyntheticSource, Variant,
+        WorkloadSource,
     };
     pub use predictsim_metrics::{ave_bsld, bounded_slowdown, Ecdf, DEFAULT_TAU};
     pub use predictsim_sim::{
-        simulate, ClairvoyantPredictor, EasyScheduler, FcfsScheduler, Job, JobId,
-        RequestedTimePredictor, SimConfig, Time,
+        simulate, simulate_observed, ClairvoyantPredictor, EasyScheduler, FcfsScheduler, Job,
+        JobId, MetricsObserver, RequestedTimePredictor, SimConfig, SimEvent, SimObserver, Time,
     };
     pub use predictsim_workload::{generate, GeneratedWorkload, WorkloadSpec};
 }
