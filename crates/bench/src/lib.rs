@@ -46,6 +46,21 @@ pub fn measure_workload() -> GeneratedWorkload {
     .expect("KTH preset exists")
 }
 
+/// A large, high-utilization workload for the engine-throughput
+/// benchmark (`engine_large`): deep queues and a big running set, the
+/// regime where the kernel's indexed state and incremental availability
+/// profile matter. ~24k jobs on a KTH-sized machine.
+pub fn large_workload() -> GeneratedWorkload {
+    let mut spec = predictsim_workload::WorkloadSpec::toy();
+    spec.name = "engine-large".into();
+    spec.machine_size = 128;
+    spec.jobs = 24_000;
+    spec.duration = 120 * 86_400;
+    spec.utilization = 0.93;
+    spec.users = 80;
+    predictsim_workload::generate(&spec, 20150115)
+}
+
 /// Two small workloads (for cross-log experiments).
 pub fn measure_workload_pair() -> Vec<GeneratedWorkload> {
     let setup = ExperimentSetup {

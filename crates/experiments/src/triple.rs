@@ -119,7 +119,7 @@ impl Variant {
             Variant::Easy => Box::new(EasyScheduler::new()),
             Variant::EasySjbf => Box::new(EasyScheduler::sjbf()),
             Variant::Fcfs => Box::new(FcfsScheduler),
-            Variant::Conservative => Box::new(ConservativeScheduler),
+            Variant::Conservative => Box::new(ConservativeScheduler::new()),
         }
     }
 

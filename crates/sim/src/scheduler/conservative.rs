@@ -16,32 +16,57 @@
 
 use crate::job::JobId;
 use crate::scheduler::profile::Profile;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, ScratchStats};
 use crate::state::SchedulerContext;
-use crate::time::Time;
 
-/// Conservative backfilling: plan every queued job, start those planned now.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct ConservativeScheduler;
+/// Conservative backfilling: plan every queued job, start those planned
+/// now.
+///
+/// The availability profile is a reusable scratch buffer refilled from
+/// the engine's incrementally maintained release set
+/// ([`Profile::rebuild_from`]) — no sort and, once warm, no allocation
+/// per pass. Reservations for the tentative plan are carved into the
+/// scratch copy, which the next pass overwrites.
+#[derive(Debug, Default, Clone)]
+pub struct ConservativeScheduler {
+    profile: Profile,
+    stats: ScratchStats,
+}
+
+impl ConservativeScheduler {
+    /// A fresh scheduler (cold scratch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch-buffer accounting (test hook for the no-allocation
+    /// guarantee).
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    /// Resets the scratch-buffer accounting (buffers stay warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = ScratchStats::default();
+    }
+}
 
 impl Scheduler for ConservativeScheduler {
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId> {
-        let releases: Vec<(Time, u32)> = ctx
-            .running
-            .iter()
-            .map(|r| (r.predicted_end, r.procs))
-            .collect();
-        let mut profile = Profile::new(ctx.now, ctx.free, &releases);
-        let mut starts = Vec::new();
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, starts: &mut Vec<JobId>) {
+        self.stats.passes += 1;
+        let caps_before = (self.profile.capacity(), starts.capacity());
+        self.profile.rebuild_from(ctx.now, ctx.free, ctx.releases);
         for job in ctx.queue {
             let duration = job.predicted.max(1);
-            let start = profile.earliest_start(ctx.now.0, job.procs, duration);
-            profile.reserve(start, duration, job.procs);
+            let start = self.profile.earliest_start(ctx.now.0, job.procs, duration);
+            self.profile.reserve(start, duration, job.procs);
             if start == ctx.now.0 {
                 starts.push(job.id);
             }
         }
-        starts
+        if (self.profile.capacity(), starts.capacity()) != caps_before {
+            self.stats.reallocating_passes += 1;
+        }
     }
 
     fn name(&self) -> String {
@@ -58,7 +83,7 @@ mod tests {
     fn starts_everything_on_free_machine() {
         let queue = [waiting(0, 4, 100, 0), waiting(1, 4, 100, 1)];
         let c = ctx(0, 8, &queue, &[]);
-        let starts = ConservativeScheduler.schedule(&c);
+        let starts = ConservativeScheduler::new().schedule(&c);
         assert_eq!(starts, vec![JobId(0), JobId(1)]);
     }
 
@@ -70,7 +95,7 @@ mod tests {
         let queue = [waiting(2, 8, 200, 1), waiting(3, 2, 90, 2)];
         let running = [running(1, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
-        let starts = ConservativeScheduler.schedule(&c);
+        let starts = ConservativeScheduler::new().schedule(&c);
         assert_eq!(starts, vec![JobId(3)]);
     }
 
@@ -92,7 +117,7 @@ mod tests {
         ];
         let running = [running(9, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
-        let starts = ConservativeScheduler.schedule(&c);
+        let starts = ConservativeScheduler::new().schedule(&c);
         assert_eq!(starts, vec![JobId(2)]);
     }
 
@@ -111,18 +136,18 @@ mod tests {
         ];
         let running = [running(9, 8, 0, 100)];
         let c = ctx(0, 10, &queue, &running);
-        let starts = ConservativeScheduler.schedule(&c);
+        let starts = ConservativeScheduler::new().schedule(&c);
         assert!(starts.is_empty());
     }
 
     #[test]
     fn empty_queue() {
         let c = ctx(0, 8, &[], &[]);
-        assert!(ConservativeScheduler.schedule(&c).is_empty());
+        assert!(ConservativeScheduler::new().schedule(&c).is_empty());
     }
 
     #[test]
     fn name() {
-        assert_eq!(ConservativeScheduler.name(), "conservative");
+        assert_eq!(ConservativeScheduler::new().name(), "conservative");
     }
 }

@@ -20,8 +20,9 @@
 //! what Figure 2 of the paper illustrates.
 
 use crate::job::JobId;
-use crate::scheduler::Scheduler;
-use crate::state::{RunningJob, SchedulerContext, WaitingJob};
+use crate::scheduler::profile::ReleaseSet;
+use crate::scheduler::{Scheduler, ScratchStats};
+use crate::state::SchedulerContext;
 use crate::time::Time;
 
 /// Order in which backfill candidates are examined (§5.1).
@@ -47,22 +48,35 @@ pub struct Reservation {
 }
 
 /// EASY backfilling scheduler.
-#[derive(Debug, Default, Clone, Copy)]
+///
+/// Owns reusable scratch buffers (the phase-1 release list and the
+/// tie fallback's release vector) so a warm scheduling pass allocates
+/// nothing — see [`EasyScheduler::stats`]. SJBF candidates come from
+/// the state layer's incrementally maintained shortest-first view
+/// ([`SchedulerContext::shortest_first`]), so no per-pass sort either.
+#[derive(Debug, Default, Clone)]
 pub struct EasyScheduler {
     order: BackfillOrder,
+    /// Releases contributed by phase-1 starts of the current pass,
+    /// sorted by time.
+    phase1: Vec<(i64, u32)>,
+    /// Legacy-order release vector for the tie fallback.
+    fallback: Vec<(Time, u32)>,
+    stats: ScratchStats,
 }
 
 impl EasyScheduler {
     /// Plain EASY (FCFS backfill order).
     pub fn new() -> Self {
-        Self {
-            order: BackfillOrder::Fcfs,
-        }
+        Self::default()
     }
 
     /// EASY with the given backfill ordering.
     pub fn with_order(order: BackfillOrder) -> Self {
-        Self { order }
+        Self {
+            order,
+            ..Self::default()
+        }
     }
 
     /// EASY-SJBF.
@@ -73,6 +87,72 @@ impl EasyScheduler {
     /// The configured backfill ordering.
     pub fn order(&self) -> BackfillOrder {
         self.order
+    }
+
+    /// Scratch-buffer accounting (test hook for the no-allocation
+    /// guarantee).
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    /// Resets the scratch-buffer accounting (buffers stay warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = ScratchStats::default();
+    }
+
+    /// The head reservation from the incrementally maintained release
+    /// set merged with this pass's phase-1 releases, or `None` when more
+    /// than one release lands on the crossing instant — there the extra
+    /// count depends on the legacy sort order, so the caller must fall
+    /// back to the from-scratch computation to stay byte-identical.
+    fn fast_reservation(
+        &self,
+        now: Time,
+        free: u32,
+        head_procs: u32,
+        releases: &ReleaseSet,
+    ) -> Option<Reservation> {
+        let base = releases.points();
+        let extra = &self.phase1;
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut avail = free;
+        while i < base.len() || j < extra.len() {
+            let t = match (base.get(i), extra.get(j)) {
+                (Some(b), Some(e)) => b.time.min(e.0),
+                (Some(b), None) => b.time,
+                (None, Some(e)) => e.0,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let mut jobs_here = 0u32;
+            if i < base.len() && base[i].time == t {
+                avail += base[i].procs;
+                jobs_here += base[i].jobs;
+                i += 1;
+            }
+            while j < extra.len() && extra[j].0 == t {
+                avail += extra[j].1;
+                jobs_here += 1;
+                j += 1;
+            }
+            if avail >= head_procs {
+                if jobs_here > 1 {
+                    // Tie at the crossing instant: the legacy per-release
+                    // walk may cross mid-group and report fewer extra
+                    // processors, depending on sort order.
+                    return None;
+                }
+                return Some(Reservation {
+                    shadow: Time(t),
+                    extra: avail - head_procs,
+                });
+            }
+        }
+        // Releases exhausted without covering the head: the degrade
+        // branch is order-free, so the fast path may take it.
+        Some(Reservation {
+            shadow: now,
+            extra: 0,
+        })
     }
 }
 
@@ -109,8 +189,13 @@ pub fn head_reservation(
 }
 
 impl Scheduler for EasyScheduler {
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId> {
-        let mut starts = Vec::new();
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, starts: &mut Vec<JobId>) {
+        self.stats.passes += 1;
+        let caps_before = (
+            self.phase1.capacity(),
+            self.fallback.capacity(),
+            starts.capacity(),
+        );
         let mut free = ctx.free;
 
         // Phase 1 — start the head of the queue while it fits (pure FCFS).
@@ -120,48 +205,84 @@ impl Scheduler for EasyScheduler {
             starts.push(ctx.queue[head_idx].id);
             head_idx += 1;
         }
-        if head_idx >= ctx.queue.len() {
-            return starts; // whole queue started
-        }
-
-        // Phase 2 — reservation for the blocked head. Jobs just started in
-        // phase 1 also release processors at their predicted ends and must
-        // be part of the computation.
-        let head = &ctx.queue[head_idx];
-        let mut releases: Vec<(Time, u32)> = ctx
-            .running
-            .iter()
-            .map(|r: &RunningJob| (r.predicted_end, r.procs))
-            .chain(
+        if head_idx < ctx.queue.len() {
+            // Phase 2 — reservation for the blocked head. Jobs just
+            // started in phase 1 also release processors at their
+            // predicted ends and must be part of the computation; the
+            // running jobs' releases come pre-sorted from `ctx.releases`.
+            let head = &ctx.queue[head_idx];
+            self.phase1.clear();
+            self.phase1.extend(
                 ctx.queue[..head_idx]
                     .iter()
-                    .map(|w| (ctx.now.plus(w.predicted), w.procs)),
-            )
-            .collect();
-        let Reservation { shadow, mut extra } =
-            head_reservation(ctx.now, free, head.procs, &mut releases);
+                    .map(|w| (ctx.now.plus(w.predicted).0, w.procs)),
+            );
+            self.phase1.sort_unstable_by_key(|&(t, _)| t);
+            let reservation = match self.fast_reservation(ctx.now, free, head.procs, ctx.releases) {
+                Some(r) => r,
+                None => {
+                    // Tie at the crossing instant: recompute exactly as
+                    // the from-scratch oracle would (legacy vector
+                    // order, unstable sort, per-release walk).
+                    self.stats.slow_passes += 1;
+                    self.fallback.clear();
+                    self.fallback
+                        .extend(ctx.running.iter().map(|r| (r.predicted_end, r.procs)));
+                    self.fallback.extend(
+                        ctx.queue[..head_idx]
+                            .iter()
+                            .map(|w| (ctx.now.plus(w.predicted), w.procs)),
+                    );
+                    head_reservation(ctx.now, free, head.procs, &mut self.fallback)
+                }
+            };
+            let Reservation { shadow, mut extra } = reservation;
 
-        // Phase 3 — backfill the rest of the queue without delaying the
-        // reservation.
-        let mut candidates: Vec<&WaitingJob> = ctx.queue[head_idx + 1..].iter().collect();
-        if self.order == BackfillOrder::ShortestFirst {
-            candidates.sort_by_key(|j| (j.predicted, j.submit, j.id));
-        }
-        for job in candidates {
-            if job.procs > free {
-                continue;
+            // Phase 3 — backfill the rest of the queue without delaying
+            // the reservation. Candidates are the queue positions after
+            // the head; in SJBF order they come from the incrementally
+            // maintained shortest-first view (a sorted list restricted
+            // to a subset is the sorted subset — identical to sorting
+            // the candidates per pass, without the per-pass sort).
+            let mut backfill = |job: &crate::state::WaitingJob, free: &mut u32| {
+                if job.procs > *free {
+                    return;
+                }
+                let ends_by_shadow = ctx.now.plus(job.predicted) <= shadow;
+                if ends_by_shadow {
+                    *free -= job.procs;
+                    starts.push(job.id);
+                } else if job.procs <= extra {
+                    extra -= job.procs;
+                    *free -= job.procs;
+                    starts.push(job.id);
+                }
+            };
+            match self.order {
+                BackfillOrder::Fcfs => {
+                    for job in &ctx.queue[head_idx + 1..] {
+                        backfill(job, &mut free);
+                    }
+                }
+                BackfillOrder::ShortestFirst => {
+                    for &position in ctx.shortest_first {
+                        if (position as usize) <= head_idx {
+                            continue;
+                        }
+                        backfill(&ctx.queue[position as usize], &mut free);
+                    }
+                }
             }
-            let ends_by_shadow = ctx.now.plus(job.predicted) <= shadow;
-            if ends_by_shadow {
-                free -= job.procs;
-                starts.push(job.id);
-            } else if job.procs <= extra {
-                extra -= job.procs;
-                free -= job.procs;
-                starts.push(job.id);
-            }
         }
-        starts
+
+        let caps_after = (
+            self.phase1.capacity(),
+            self.fallback.capacity(),
+            starts.capacity(),
+        );
+        if caps_after != caps_before {
+            self.stats.reallocating_passes += 1;
+        }
     }
 
     fn name(&self) -> String {

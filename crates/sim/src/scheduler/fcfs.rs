@@ -14,8 +14,7 @@ use crate::state::SchedulerContext;
 pub struct FcfsScheduler;
 
 impl Scheduler for FcfsScheduler {
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId> {
-        let mut starts = Vec::new();
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, starts: &mut Vec<JobId>) {
         let mut free = ctx.free;
         for job in ctx.queue {
             if job.procs > free {
@@ -24,7 +23,6 @@ impl Scheduler for FcfsScheduler {
             free -= job.procs;
             starts.push(job.id);
         }
-        starts
     }
 
     fn name(&self) -> String {

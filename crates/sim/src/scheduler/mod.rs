@@ -19,32 +19,70 @@ pub mod conservative;
 pub mod easy;
 pub mod fcfs;
 pub mod profile;
+pub mod reference;
 
 pub use conservative::ConservativeScheduler;
 pub use easy::{BackfillOrder, EasyScheduler};
 pub use fcfs::FcfsScheduler;
+pub use profile::{ReleasePoint, ReleaseSet};
+pub use reference::{ReferenceConservative, ReferenceEasy};
 
 use crate::job::JobId;
 use crate::state::SchedulerContext;
 
 /// A scheduling policy: decides which waiting jobs start now.
 pub trait Scheduler {
-    /// One scheduling pass. Returns the ids of queue jobs to start
-    /// immediately; the engine validates capacity and applies the starts.
+    /// One scheduling pass: appends the ids of queue jobs to start
+    /// immediately to `starts` (handed in cleared by the caller, and
+    /// reused across passes so warm implementations allocate nothing).
+    /// The engine validates capacity and applies the starts.
     ///
     /// Invariants the engine guarantees on `ctx`: the queue is in FCFS
     /// (submit, id) order; every running job's `predicted_end` is `> now`;
-    /// `free` equals `machine_size` minus the processors held by `running`.
-    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId>;
+    /// `free` equals `machine_size` minus the processors held by
+    /// `running`; `releases` aggregates exactly the running jobs'
+    /// `(predicted_end, procs)`.
+    ///
+    /// The engine **skips** passes that provably cannot start anything
+    /// (empty queue, or zero free processors — every valid job needs at
+    /// least one). Implementations must therefore be memoryless across
+    /// passes: each call decides from `ctx` alone.
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, starts: &mut Vec<JobId>);
+
+    /// Allocating convenience wrapper around
+    /// [`Scheduler::schedule_into`] (tests, one-off callers).
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<JobId> {
+        let mut starts = Vec::new();
+        self.schedule_into(ctx, &mut starts);
+        starts
+    }
 
     /// Display name used in reports (e.g. `"easy-sjbf"`).
     fn name(&self) -> String;
+}
+
+/// Scratch-buffer accounting for a scheduler, in the style of the
+/// thread-pool stats: enough to verify that warm passes allocate
+/// nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Scheduling passes executed.
+    pub passes: u64,
+    /// Passes during which some scratch buffer (including the caller's
+    /// `starts`) grew its capacity. After warm-up this must stop
+    /// increasing — the no-allocation property the engine relies on.
+    pub reallocating_passes: u64,
+    /// Passes that fell back to a from-scratch computation because the
+    /// incremental fast path could not prove byte-identity (EASY only:
+    /// a release tie at the reservation's crossing instant).
+    pub slow_passes: u64,
 }
 
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Helpers shared by the scheduler unit tests.
     use crate::job::JobId;
+    use crate::scheduler::profile::ReleaseSet;
     use crate::state::{RunningJob, SchedulerContext, WaitingJob};
     use crate::time::Time;
 
@@ -73,7 +111,9 @@ pub(crate) mod testutil {
         }
     }
 
-    /// Builds a context; `free` is derived from machine size minus running.
+    /// Builds a context; `free` is derived from machine size minus
+    /// running, and the release set from the running slice (leaked —
+    /// test-only convenience that keeps call sites borrow-free).
     pub fn ctx<'a>(
         now: i64,
         machine: u32,
@@ -87,6 +127,10 @@ pub(crate) mod testutil {
             free: machine - used,
             queue,
             running,
+            releases: Box::leak(Box::new(ReleaseSet::from_running(running))),
+            shortest_first: Box::leak(
+                crate::state::sorted_shortest_first(queue).into_boxed_slice(),
+            ),
         }
     }
 }

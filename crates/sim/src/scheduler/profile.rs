@@ -7,19 +7,173 @@
 //! constant function, with the operations conservative backfilling needs:
 //! find the earliest feasible start for a `(procs, duration)` rectangle,
 //! and carve a reservation out of the capacity.
+//!
+//! [`ReleaseSet`] is the *incrementally maintained* substrate both
+//! backfilling families read: the time-sorted aggregate of future
+//! capacity releases (one entry per distinct predicted end), kept up to
+//! date by the engine on every start, finish, and correction instead of
+//! being rebuilt and re-sorted from the running set on every scheduling
+//! pass. EASY's reservation walk consumes it directly;
+//! [`Profile::rebuild_from`] materializes it into a [`Profile`] for
+//! conservative backfilling without sorting or allocating.
 
+use crate::state::RunningJob;
 use crate::time::Time;
+
+/// One aggregated future capacity release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleasePoint {
+    /// The instant (a predicted end of one or more running jobs).
+    pub time: i64,
+    /// Total processors released at this instant.
+    pub procs: u32,
+    /// How many running jobs release at this instant. Scheduling fast
+    /// paths that are only order-independent for a *single* release at
+    /// the crossing instant use this to detect ties.
+    pub jobs: u32,
+}
+
+/// Time-sorted aggregate of the future capacity releases of the running
+/// set: for every distinct predicted end, the processors freed there.
+///
+/// Maintained incrementally by the engine — O(log n) locate plus a
+/// memmove per update, no allocation after warm-up — so a scheduling
+/// pass never sorts the running set again. The invariant the engine
+/// upholds (and [`crate::state::SimState`] asserts in tests): the
+/// multiset of `(predicted_end, procs)` over running jobs equals this
+/// set's aggregated contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReleaseSet {
+    points: Vec<ReleasePoint>,
+}
+
+impl ReleaseSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the set from a running slice (tests and oracles; the
+    /// engine maintains its set incrementally instead).
+    pub fn from_running(running: &[RunningJob]) -> Self {
+        let mut set = Self::new();
+        for r in running {
+            set.add(r.predicted_end.0, r.procs);
+        }
+        set
+    }
+
+    /// Registers one job releasing `procs` processors at `time`.
+    pub fn add(&mut self, time: i64, procs: u32) {
+        match self.points.binary_search_by_key(&time, |p| p.time) {
+            Ok(i) => {
+                self.points[i].procs += procs;
+                self.points[i].jobs += 1;
+            }
+            Err(i) => self.points.insert(
+                i,
+                ReleasePoint {
+                    time,
+                    procs,
+                    jobs: 1,
+                },
+            ),
+        }
+    }
+
+    /// Unregisters one job that would have released `procs` at `time`
+    /// (it finished, or its prediction moved).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if no such release is registered — that is
+    /// an engine bookkeeping bug, not a runtime condition.
+    pub fn remove(&mut self, time: i64, procs: u32) {
+        match self.points.binary_search_by_key(&time, |p| p.time) {
+            Ok(i) => {
+                let p = &mut self.points[i];
+                debug_assert!(
+                    p.procs >= procs && p.jobs >= 1,
+                    "release underflow at t={time}: removing {procs} from {p:?}"
+                );
+                p.procs -= procs;
+                p.jobs -= 1;
+                if p.jobs == 0 {
+                    debug_assert_eq!(p.procs, 0, "procs left with no jobs at t={time}");
+                    self.points.remove(i);
+                }
+            }
+            Err(_) => debug_assert!(false, "no release registered at t={time}"),
+        }
+    }
+
+    /// Moves one job's release of `procs` from `from` to `to` (a
+    /// correction re-predicted its end).
+    pub fn shift(&mut self, from: i64, to: i64, procs: u32) {
+        if from == to {
+            return;
+        }
+        self.remove(from, procs);
+        self.add(to, procs);
+    }
+
+    /// The aggregated releases, sorted by time.
+    pub fn points(&self) -> &[ReleasePoint] {
+        &self.points
+    }
+
+    /// Number of distinct release instants.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no job is due to release capacity.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
 
 /// Piecewise-constant "free processors" function of time.
 ///
 /// Internally a sorted list of `(time, free)` breakpoints; `free` of the
 /// last breakpoint extends to infinity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     points: Vec<(i64, i64)>,
 }
 
 impl Profile {
+    /// An empty profile, to be filled by [`Profile::rebuild_from`]
+    /// (scratch reuse: the points buffer is retained across rebuilds).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Refills this profile from `now`, `free` idle processors, and the
+    /// incrementally maintained release set — the allocation-free
+    /// equivalent of [`Profile::new`] (byte-identical result for the
+    /// same release multiset: both aggregate per instant, and
+    /// aggregation is order-free).
+    ///
+    /// Releases at or before `now` fold into the immediately-free
+    /// capacity, exactly as in [`Profile::new`].
+    pub fn rebuild_from(&mut self, now: Time, free: u32, releases: &ReleaseSet) {
+        self.points.clear();
+        let pts = releases.points();
+        let mut base = free as i64;
+        let mut i = 0;
+        while i < pts.len() && pts[i].time <= now.0 {
+            base += pts[i].procs as i64;
+            i += 1;
+        }
+        self.points.push((now.0, base));
+        let mut cum = base;
+        for p in &pts[i..] {
+            cum += p.procs as i64;
+            self.points.push((p.time, cum));
+        }
+    }
+
     /// Builds the profile as seen at `now` with `free` processors idle and
     /// each `(end, procs)` release adding capacity at its (predicted) end.
     ///
@@ -62,26 +216,20 @@ impl Profile {
     pub fn earliest_start(&self, from: i64, procs: u32, duration: i64) -> i64 {
         let procs = procs as i64;
         debug_assert!(duration > 0, "reservation must have positive duration");
-        // Candidate starts: `from` itself and every later breakpoint.
-        let mut candidates: Vec<i64> = vec![from];
-        candidates.extend(self.points.iter().map(|&(t, _)| t).filter(|&t| t > from));
-        'candidate: for s in candidates {
-            if self.free_at(s) < procs {
+        // Candidate starts: `from` itself, then every later breakpoint —
+        // examined in place (this runs once per queued job per scheduling
+        // pass, so it must not allocate).
+        if self.feasible_at(from, procs, duration) {
+            return from;
+        }
+        for i in 0..self.points.len() {
+            let s = self.points[i].0;
+            if s <= from {
                 continue;
             }
-            // Check every breakpoint inside (s, s+duration).
-            for &(t, f) in &self.points {
-                if t <= s {
-                    continue;
-                }
-                if t >= s + duration {
-                    break;
-                }
-                if f < procs {
-                    continue 'candidate;
-                }
+            if self.feasible_at(s, procs, duration) {
+                return s;
             }
-            return s;
         }
         // With procs ≤ machine size this is unreachable; degrade to the
         // profile's horizon for robustness.
@@ -89,6 +237,27 @@ impl Profile {
             .last()
             .map(|&(t, _)| t.max(from))
             .unwrap_or(from)
+    }
+
+    /// True when at least `procs` processors stay free during the whole
+    /// interval `[s, s + duration)`.
+    fn feasible_at(&self, s: i64, procs: i64, duration: i64) -> bool {
+        if self.free_at(s) < procs {
+            return false;
+        }
+        // Check every breakpoint inside (s, s+duration).
+        for &(t, f) in &self.points {
+            if t <= s {
+                continue;
+            }
+            if t >= s + duration {
+                break;
+            }
+            if f < procs {
+                return false;
+            }
+        }
+        true
     }
 
     /// Removes `procs` processors during `[start, start + duration)`.
@@ -131,6 +300,11 @@ impl Profile {
     /// The breakpoints, for inspection in tests.
     pub fn points(&self) -> &[(i64, i64)] {
         &self.points
+    }
+
+    /// Capacity of the breakpoint buffer (scratch-reuse accounting).
+    pub fn capacity(&self) -> usize {
+        self.points.capacity()
     }
 }
 
@@ -231,5 +405,102 @@ mod tests {
         let s2 = p.earliest_start(0, 3, 100);
         assert_eq!(s1, 0);
         assert_eq!(s2, 100); // must queue behind the first
+    }
+
+    #[test]
+    fn release_set_aggregates_and_sorts() {
+        let mut s = ReleaseSet::new();
+        s.add(100, 4);
+        s.add(50, 2);
+        s.add(100, 3);
+        assert_eq!(
+            s.points(),
+            &[
+                ReleasePoint {
+                    time: 50,
+                    procs: 2,
+                    jobs: 1
+                },
+                ReleasePoint {
+                    time: 100,
+                    procs: 7,
+                    jobs: 2
+                },
+            ]
+        );
+        let total: u64 = s.points().iter().map(|p| p.procs as u64).sum();
+        assert_eq!(total, 9);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn release_set_remove_and_shift() {
+        let mut s = ReleaseSet::new();
+        s.add(100, 4);
+        s.add(100, 3);
+        s.remove(100, 4);
+        assert_eq!(
+            s.points(),
+            &[ReleasePoint {
+                time: 100,
+                procs: 3,
+                jobs: 1
+            }]
+        );
+        s.shift(100, 250, 3);
+        assert_eq!(
+            s.points(),
+            &[ReleasePoint {
+                time: 250,
+                procs: 3,
+                jobs: 1
+            }]
+        );
+        s.remove(250, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rebuild_from_matches_from_scratch_construction() {
+        let mut set = ReleaseSet::new();
+        set.add(100, 4);
+        set.add(50, 2);
+        set.add(100, 2);
+        let mut incremental = Profile::empty();
+        incremental.rebuild_from(Time(0), 2, &set);
+        let scratch = Profile::new(Time(0), 2, &[(Time(100), 4), (Time(50), 2), (Time(100), 2)]);
+        assert_eq!(incremental, scratch);
+    }
+
+    #[test]
+    fn rebuild_from_folds_past_releases_into_now() {
+        let mut set = ReleaseSet::new();
+        set.add(50, 3);
+        set.add(200, 1);
+        let mut incremental = Profile::empty();
+        incremental.rebuild_from(Time(100), 1, &set);
+        assert_eq!(incremental.points(), &[(100, 4), (200, 5)]);
+        assert_eq!(
+            incremental,
+            Profile::new(Time(100), 1, &[(Time(50), 3), (Time(200), 1)])
+        );
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity() {
+        let mut set = ReleaseSet::new();
+        for t in 0..32 {
+            set.add(100 + t, 1);
+        }
+        let mut p = Profile::empty();
+        p.rebuild_from(Time(0), 4, &set);
+        let cap = {
+            p.rebuild_from(Time(0), 4, &set);
+            p.points.capacity()
+        };
+        for _ in 0..100 {
+            p.rebuild_from(Time(1), 2, &set);
+        }
+        assert_eq!(p.points.capacity(), cap, "rebuild must not reallocate");
     }
 }

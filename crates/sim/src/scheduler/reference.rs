@@ -1,0 +1,163 @@
+//! Brute-force reference schedulers: rebuild-from-scratch oracles.
+//!
+//! These are the pre-refactor implementations of EASY and conservative
+//! backfilling, kept verbatim: every pass re-collects the running jobs'
+//! releases into a fresh vector, re-sorts it, and (for conservative)
+//! rebuilds the availability [`Profile`] from scratch. They are
+//! deliberately slow and allocation-heavy — their only job is to be
+//! *obviously* equivalent to the published algorithms, so the property
+//! tests can assert that the production schedulers (incremental release
+//! set, reusable scratch, slot-indexed state) produce identical starts
+//! on arbitrary queue/running states.
+//!
+//! Not registered in the experiment registry; use
+//! [`crate::scheduler::EasyScheduler`] /
+//! [`crate::scheduler::ConservativeScheduler`] for real runs.
+
+use crate::job::JobId;
+use crate::scheduler::easy::{head_reservation, BackfillOrder, Reservation};
+use crate::scheduler::profile::Profile;
+use crate::scheduler::Scheduler;
+use crate::state::{RunningJob, SchedulerContext, WaitingJob};
+use crate::time::Time;
+
+/// The from-scratch EASY oracle (optionally SJBF-ordered), bit-equal to
+/// the pre-refactor `EasyScheduler`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceEasy {
+    /// Backfill candidate ordering (§5.1).
+    pub order: BackfillOrder,
+}
+
+impl ReferenceEasy {
+    /// Plain EASY oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// EASY-SJBF oracle.
+    pub fn sjbf() -> Self {
+        Self {
+            order: BackfillOrder::ShortestFirst,
+        }
+    }
+}
+
+impl Scheduler for ReferenceEasy {
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, starts: &mut Vec<JobId>) {
+        let mut free = ctx.free;
+
+        // Phase 1 — start the head of the queue while it fits (pure FCFS).
+        let mut head_idx = 0;
+        while head_idx < ctx.queue.len() && ctx.queue[head_idx].procs <= free {
+            free -= ctx.queue[head_idx].procs;
+            starts.push(ctx.queue[head_idx].id);
+            head_idx += 1;
+        }
+        if head_idx >= ctx.queue.len() {
+            return; // whole queue started
+        }
+
+        // Phase 2 — reservation for the blocked head, rebuilt from
+        // scratch: running releases in running-vector order, then the
+        // phase-1 starts, unstable-sorted by time.
+        let head = &ctx.queue[head_idx];
+        let mut releases: Vec<(Time, u32)> = ctx
+            .running
+            .iter()
+            .map(|r: &RunningJob| (r.predicted_end, r.procs))
+            .chain(
+                ctx.queue[..head_idx]
+                    .iter()
+                    .map(|w| (ctx.now.plus(w.predicted), w.procs)),
+            )
+            .collect();
+        let Reservation { shadow, mut extra } =
+            head_reservation(ctx.now, free, head.procs, &mut releases);
+
+        // Phase 3 — backfill the rest of the queue without delaying the
+        // reservation.
+        let mut candidates: Vec<&WaitingJob> = ctx.queue[head_idx + 1..].iter().collect();
+        if self.order == BackfillOrder::ShortestFirst {
+            candidates.sort_by_key(|j| (j.predicted, j.submit, j.id));
+        }
+        for job in candidates {
+            if job.procs > free {
+                continue;
+            }
+            let ends_by_shadow = ctx.now.plus(job.predicted) <= shadow;
+            if ends_by_shadow {
+                free -= job.procs;
+                starts.push(job.id);
+            } else if job.procs <= extra {
+                extra -= job.procs;
+                free -= job.procs;
+                starts.push(job.id);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        match self.order {
+            BackfillOrder::Fcfs => "reference-easy".into(),
+            BackfillOrder::ShortestFirst => "reference-easy-sjbf".into(),
+        }
+    }
+}
+
+/// The from-scratch conservative oracle, bit-equal to the pre-refactor
+/// `ConservativeScheduler`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceConservative;
+
+impl Scheduler for ReferenceConservative {
+    fn schedule_into(&mut self, ctx: &SchedulerContext<'_>, starts: &mut Vec<JobId>) {
+        let releases: Vec<(Time, u32)> = ctx
+            .running
+            .iter()
+            .map(|r| (r.predicted_end, r.procs))
+            .collect();
+        let mut profile = Profile::new(ctx.now, ctx.free, &releases);
+        for job in ctx.queue {
+            let duration = job.predicted.max(1);
+            let start = profile.earliest_start(ctx.now.0, job.procs, duration);
+            profile.reserve(start, duration, job.procs);
+            if start == ctx.now.0 {
+                starts.push(job.id);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "reference-conservative".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::testutil::{ctx, running, waiting};
+    use crate::scheduler::{ConservativeScheduler, EasyScheduler};
+
+    #[test]
+    fn oracles_match_production_on_the_figure2_scenario() {
+        let queue = [waiting(2, 8, 200, 1), waiting(3, 4, 90, 2)];
+        let running = [running(1, 6, 0, 100)];
+        let c = ctx(0, 10, &queue, &running);
+        assert_eq!(
+            ReferenceEasy::new().schedule(&c),
+            EasyScheduler::new().schedule(&c)
+        );
+        assert_eq!(
+            ReferenceConservative.schedule(&c),
+            ConservativeScheduler::new().schedule(&c)
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ReferenceEasy::new().name(), "reference-easy");
+        assert_eq!(ReferenceEasy::sjbf().name(), "reference-easy-sjbf");
+        assert_eq!(ReferenceConservative.name(), "reference-conservative");
+    }
+}

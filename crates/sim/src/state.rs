@@ -1,10 +1,20 @@
-//! Shared read views of the simulator state.
+//! The simulation state layer: indexed mutable state and the read views
+//! handed to policies.
+//!
+//! [`SimState`] owns the waiting queue, the running set, and the free
+//! processor count, all cross-indexed by a dense per-job [`Slot`] map so
+//! every engine operation — start, finish, prediction expiry — resolves
+//! its job in O(1) instead of scanning. It also maintains the
+//! [`ReleaseSet`] availability substrate incrementally, so schedulers
+//! never rebuild it from the running set.
 //!
 //! Schedulers and predictors never mutate engine state directly; they read
-//! these snapshot views and return decisions, which keeps every policy a
-//! (mostly) pure function that is easy to unit-test in isolation.
+//! the snapshot views ([`SchedulerContext`], [`SystemView`]) and return
+//! decisions, which keeps every policy a (mostly) pure function that is
+//! easy to unit-test in isolation.
 
 use crate::job::JobId;
+use crate::scheduler::profile::ReleaseSet;
 use crate::time::Time;
 
 /// A job sitting in the waiting queue.
@@ -74,6 +84,334 @@ pub struct SchedulerContext<'a> {
     pub queue: &'a [WaitingJob],
     /// Running jobs, unordered.
     pub running: &'a [RunningJob],
+    /// Incrementally maintained aggregate of the running jobs' future
+    /// capacity releases (sorted by predicted end). Invariant: its
+    /// aggregated contents equal the multiset of
+    /// `(predicted_end, procs)` over `running`.
+    pub releases: &'a ReleaseSet,
+    /// Queue positions sorted by `(predicted, submit, id)` — the
+    /// shortest-job-first view of `queue`, maintained incrementally (a
+    /// waiting job's key never changes, so the order only moves on
+    /// submit and start). EASY-SJBF reads its backfill candidates from
+    /// here instead of sorting per pass.
+    pub shortest_first: &'a [u32],
+}
+
+/// Lifecycle position of one job, the value of [`SimState`]'s dense
+/// per-job slot map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Not yet submitted (no engine state holds the job).
+    Unsubmitted,
+    /// Waiting, at this index of the queue.
+    Waiting(u32),
+    /// Running, at this index of the running vector.
+    Running(u32),
+    /// Completed (an outcome exists).
+    Finished,
+}
+
+/// Indexed mutable simulation state.
+///
+/// The queue stays in FCFS (submit, id) order; the running vector is
+/// unordered and removal is swap-remove. The slot map is kept exact
+/// under both disciplines: a swap-remove rewrites the moved job's slot,
+/// and queue compaction (after starts) rewrites the slots of every
+/// shifted entry. All buffers are allocated once per run and reused.
+///
+/// Starts are two-phase: [`SimState::start`] transitions jobs
+/// waiting→running one at a time (so capacity checks interleave), and
+/// [`SimState::compact_queue`] then drops the started entries from the
+/// queue in a single order-preserving sweep. Between the two, the raw
+/// queue contains already-started entries, so [`SimState::queue`]
+/// asserts no starts are pending.
+#[derive(Debug, Clone)]
+pub struct SimState {
+    machine_size: u32,
+    free: u32,
+    queue: Vec<WaitingJob>,
+    running: Vec<RunningJob>,
+    slots: Vec<Slot>,
+    releases: ReleaseSet,
+    /// Queue positions sorted by `(predicted, submit, id)`.
+    shortest_first: Vec<u32>,
+    /// Old-position → new-position scratch for queue compaction.
+    remap: Vec<u32>,
+    pending_starts: u32,
+}
+
+/// Sentinel for "entry removed" in the compaction remap.
+const REMOVED: u32 = u32::MAX;
+
+/// Queue positions sorted by the shortest-job-first key
+/// `(predicted, submit, id)` — the order [`SimState`] maintains
+/// incrementally. The from-scratch form exists for tests and oracles
+/// (and [`SimState::assert_consistent`] checks the incremental view
+/// against it), so every consumer tracks one key definition.
+pub fn sorted_shortest_first(queue: &[WaitingJob]) -> Vec<u32> {
+    let mut positions: Vec<u32> = (0..queue.len() as u32).collect();
+    positions.sort_by_key(|&p| SimState::sjbf_key(&queue[p as usize]));
+    positions
+}
+
+impl SimState {
+    /// Fresh state for `jobs` jobs on a `machine_size`-processor machine.
+    pub fn new(machine_size: u32, jobs: usize) -> Self {
+        Self {
+            machine_size,
+            free: machine_size,
+            queue: Vec::new(),
+            running: Vec::new(),
+            slots: vec![Slot::Unsubmitted; jobs],
+            releases: ReleaseSet::new(),
+            shortest_first: Vec::new(),
+            remap: Vec::new(),
+            pending_starts: 0,
+        }
+    }
+
+    /// The shortest-job-first key of a waiting job.
+    #[inline]
+    fn sjbf_key(w: &WaitingJob) -> (i64, Time, JobId) {
+        (w.predicted, w.submit, w.id)
+    }
+
+    /// Machine size `m`.
+    pub fn machine_size(&self) -> u32 {
+        self.machine_size
+    }
+
+    /// Processors currently idle.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// The waiting queue in FCFS order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) while starts are pending compaction — the
+    /// raw queue still contains the started entries then.
+    pub fn queue(&self) -> &[WaitingJob] {
+        debug_assert_eq!(
+            self.pending_starts, 0,
+            "queue read while starts await compaction"
+        );
+        &self.queue
+    }
+
+    /// Number of waiting jobs (excluding started-but-uncompacted entries).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() - self.pending_starts as usize
+    }
+
+    /// True when no job is waiting.
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue_len() == 0
+    }
+
+    /// The running jobs, unordered.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// The incrementally maintained release aggregate.
+    pub fn releases(&self) -> &ReleaseSet {
+        &self.releases
+    }
+
+    /// Queue positions sorted by `(predicted, submit, id)` (see
+    /// [`SchedulerContext::shortest_first`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) while starts are pending compaction, like
+    /// [`SimState::queue`].
+    pub fn shortest_first(&self) -> &[u32] {
+        debug_assert_eq!(
+            self.pending_starts, 0,
+            "shortest_first read while starts await compaction"
+        );
+        &self.shortest_first
+    }
+
+    /// The job's lifecycle slot.
+    pub fn slot(&self, id: JobId) -> Slot {
+        self.slots[id.index()]
+    }
+
+    /// O(1) lookup: the queue index of a waiting job.
+    pub fn waiting_index(&self, id: JobId) -> Option<usize> {
+        match self.slots[id.index()] {
+            Slot::Waiting(i) => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// O(1) lookup: the running-vector index of a running job.
+    pub fn running_index(&self, id: JobId) -> Option<usize> {
+        match self.slots[id.index()] {
+            Slot::Running(i) => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// The waiting job at `index` (valid even while starts are pending
+    /// compaction, unlike [`SimState::queue`]).
+    pub fn waiting_at(&self, index: usize) -> &WaitingJob {
+        &self.queue[index]
+    }
+
+    /// Appends a newly submitted job to the queue tail.
+    pub fn enqueue(&mut self, w: WaitingJob) {
+        debug_assert_eq!(
+            self.slots[w.id.index()],
+            Slot::Unsubmitted,
+            "{} enqueued twice",
+            w.id
+        );
+        debug_assert_eq!(self.pending_starts, 0, "enqueue during start application");
+        let position = self.queue.len() as u32;
+        let rank = self
+            .shortest_first
+            .binary_search_by_key(&Self::sjbf_key(&w), |&p| {
+                Self::sjbf_key(&self.queue[p as usize])
+            })
+            .expect_err("sjbf keys are unique (id component)");
+        self.slots[w.id.index()] = Slot::Waiting(position);
+        self.queue.push(w);
+        self.shortest_first.insert(rank, position);
+    }
+
+    /// Transitions the waiting job at `queue_index` to running as `r`.
+    /// The queue entry stays in place (tombstoned via the slot map) until
+    /// [`SimState::compact_queue`].
+    pub fn start(&mut self, queue_index: usize, r: RunningJob) {
+        let w = self.queue[queue_index];
+        debug_assert_eq!(w.id, r.id, "start() running job mismatches queue entry");
+        debug_assert_eq!(self.slots[w.id.index()], Slot::Waiting(queue_index as u32));
+        debug_assert!(r.procs <= self.free, "start() over-commits the machine");
+        self.free -= r.procs;
+        self.slots[w.id.index()] = Slot::Running(self.running.len() as u32);
+        self.releases.add(r.predicted_end.0, r.procs);
+        self.running.push(r);
+        self.pending_starts += 1;
+    }
+
+    /// Drops started entries from the queue in one order-preserving
+    /// sweep, reindexing the slots of every shifted waiter and remapping
+    /// the shortest-first view (a sorted list stays sorted under subset
+    /// removal, so no re-sort).
+    pub fn compact_queue(&mut self) {
+        if self.pending_starts == 0 {
+            return;
+        }
+        self.remap.clear();
+        self.remap.resize(self.queue.len(), REMOVED);
+        let mut write = 0;
+        for read in 0..self.queue.len() {
+            let id = self.queue[read].id;
+            if matches!(self.slots[id.index()], Slot::Waiting(_)) {
+                self.queue[write] = self.queue[read];
+                self.slots[id.index()] = Slot::Waiting(write as u32);
+                self.remap[read] = write as u32;
+                write += 1;
+            }
+        }
+        self.queue.truncate(write);
+        let remap = &self.remap;
+        self.shortest_first.retain_mut(|position| {
+            let new = remap[*position as usize];
+            *position = new;
+            new != REMOVED
+        });
+        self.pending_starts = 0;
+    }
+
+    /// Completes a running job: swap-removes it (rewriting the moved
+    /// job's slot), frees its processors, and retires its release.
+    /// Returns `None` when the job is not running (a stale event).
+    pub fn finish(&mut self, id: JobId) -> Option<RunningJob> {
+        let index = self.running_index(id)?;
+        let r = self.running.swap_remove(index);
+        if index < self.running.len() {
+            let moved = self.running[index].id;
+            self.slots[moved.index()] = Slot::Running(index as u32);
+        }
+        self.slots[id.index()] = Slot::Finished;
+        self.free += r.procs;
+        self.releases.remove(r.predicted_end.0, r.procs);
+        Some(r)
+    }
+
+    /// Applies a correction to the running job at `running_index`: moves
+    /// its release to `new_predicted_end` and bumps its generation
+    /// counter. Returns the new generation.
+    pub fn apply_correction(&mut self, running_index: usize, new_predicted_end: Time) -> u32 {
+        let r = &mut self.running[running_index];
+        self.releases
+            .shift(r.predicted_end.0, new_predicted_end.0, r.procs);
+        r.predicted_end = new_predicted_end;
+        r.corrections += 1;
+        r.corrections
+    }
+
+    /// Exhaustively re-checks every cross-index invariant (test hook;
+    /// O(n log n), not called on any hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    #[doc(hidden)]
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.pending_starts, 0, "starts pending compaction");
+        for (i, w) in self.queue.iter().enumerate() {
+            assert_eq!(
+                self.slots[w.id.index()],
+                Slot::Waiting(i as u32),
+                "queue[{i}] = {} has slot {:?}",
+                w.id,
+                self.slots[w.id.index()]
+            );
+        }
+        for (i, r) in self.running.iter().enumerate() {
+            assert_eq!(
+                self.slots[r.id.index()],
+                Slot::Running(i as u32),
+                "running[{i}] = {} has slot {:?}",
+                r.id,
+                self.slots[r.id.index()]
+            );
+        }
+        let waiting = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Waiting(_)))
+            .count();
+        let running = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Running(_)))
+            .count();
+        assert_eq!(waiting, self.queue.len(), "slot map counts extra waiters");
+        assert_eq!(running, self.running.len(), "slot map counts extra runners");
+        let used: u32 = self.running.iter().map(|r| r.procs).sum();
+        assert_eq!(
+            self.free,
+            self.machine_size - used,
+            "free-processor accounting drifted"
+        );
+        assert_eq!(
+            self.releases,
+            ReleaseSet::from_running(&self.running),
+            "release set drifted from the running set"
+        );
+        assert_eq!(
+            self.shortest_first,
+            sorted_shortest_first(&self.queue),
+            "shortest-first view drifted from the queue"
+        );
+    }
 }
 
 /// Snapshot handed to a [`crate::predict::RuntimePredictor`] when a job is
@@ -125,6 +463,136 @@ mod tests {
         assert_eq!(r.elapsed(Time(250)), 150);
         assert_eq!(r.predicted_remaining(Time(250)), 250);
         assert_eq!(r.predicted_remaining(Time(600)), -100);
+    }
+
+    fn wj(id: u32, procs: u32, predicted: i64) -> WaitingJob {
+        WaitingJob {
+            id: JobId(id),
+            procs,
+            predicted,
+            requested: predicted,
+            submit: Time(0),
+            user: 1,
+        }
+    }
+
+    fn running_job(id: u32, procs: u32, start: i64, pend: i64) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            procs,
+            start: Time(start),
+            predicted_end: Time(pend),
+            deadline: Time(pend + 1_000),
+            user: 1,
+            corrections: 0,
+        }
+    }
+
+    /// Starts the waiting job `id` with the given predicted end.
+    fn start_job(state: &mut SimState, id: u32, pend: i64) {
+        let index = state.waiting_index(JobId(id)).expect("job is waiting");
+        let w = *state.waiting_at(index);
+        state.start(index, running_job(id, w.procs, 0, pend));
+    }
+
+    #[test]
+    fn slot_map_tracks_enqueue_start_finish() {
+        let mut s = SimState::new(16, 4);
+        for id in 0..4 {
+            s.enqueue(wj(id, 2 + id, 100 + id as i64));
+        }
+        s.assert_consistent();
+        assert_eq!(s.queue_len(), 4);
+        assert_eq!(s.free(), 16);
+
+        // Start jobs 0 and 2 (a backfill skipping 1), then compact.
+        start_job(&mut s, 0, 100);
+        start_job(&mut s, 2, 104);
+        assert_eq!(s.queue_len(), 2, "pending starts excluded from len");
+        s.compact_queue();
+        s.assert_consistent();
+        assert_eq!(s.queue().iter().map(|w| w.id.0).collect::<Vec<_>>(), [1, 3]);
+        assert_eq!(s.free(), 16 - 2 - 4);
+        assert_eq!(s.waiting_index(JobId(3)), Some(1), "slots reindexed");
+        assert_eq!(s.waiting_index(JobId(0)), None, "started job left queue");
+        assert_eq!(s.running_index(JobId(2)), Some(1));
+
+        // Finish 0: swap-remove moves 2 into its place; slot must follow.
+        let r = s.finish(JobId(0)).expect("running");
+        assert_eq!(r.procs, 2);
+        assert_eq!(s.running_index(JobId(2)), Some(0), "swap-remove fixup");
+        assert_eq!(s.slot(JobId(0)), Slot::Finished);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn interleaved_finish_expiry_start_sequences_stay_consistent() {
+        // A miniature engine batch: starts, corrections (expiry), and
+        // finishes interleaved in every order the event ranks allow.
+        let mut s = SimState::new(32, 8);
+        for id in 0..8 {
+            s.enqueue(wj(id, 4, 50 + id as i64));
+        }
+        for id in 0..6 {
+            start_job(&mut s, id, 50 + id as i64);
+        }
+        s.compact_queue();
+        s.assert_consistent();
+
+        // Correct job 3 (expiry): release moves, generation bumps.
+        let index = s.running_index(JobId(3)).unwrap();
+        let generation = s.apply_correction(index, Time(500));
+        assert_eq!(generation, 1);
+        assert_eq!(
+            s.running()[s.running_index(JobId(3)).unwrap()].corrections,
+            1
+        );
+        s.assert_consistent();
+
+        // Finish out of start order; every removal keeps the map exact.
+        for id in [4u32, 0, 3, 5] {
+            s.finish(JobId(id)).expect("running");
+            s.assert_consistent();
+        }
+        // Stale events resolve to None in O(1), no scan.
+        assert_eq!(s.finish(JobId(4)), None, "double finish is stale");
+        assert_eq!(s.running_index(JobId(3)), None);
+
+        // Remaining two run; queue still holds 6 and 7 in order.
+        assert_eq!(s.running().len(), 2);
+        assert_eq!(s.queue().iter().map(|w| w.id.0).collect::<Vec<_>>(), [6, 7]);
+        start_job(&mut s, 6, 300);
+        s.compact_queue();
+        s.assert_consistent();
+        assert_eq!(s.free(), 32 - 3 * 4);
+    }
+
+    #[test]
+    fn release_set_follows_start_finish_correction() {
+        let mut s = SimState::new(8, 3);
+        for id in 0..3 {
+            s.enqueue(wj(id, 2, 100));
+        }
+        start_job(&mut s, 0, 100);
+        start_job(&mut s, 1, 100);
+        start_job(&mut s, 2, 250);
+        s.compact_queue();
+        let pts = s.releases().points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!((pts[0].time, pts[0].procs, pts[0].jobs), (100, 4, 2));
+        assert_eq!((pts[1].time, pts[1].procs, pts[1].jobs), (250, 2, 1));
+
+        let index = s.running_index(JobId(1)).unwrap();
+        s.apply_correction(index, Time(250));
+        let pts = s.releases().points();
+        assert_eq!((pts[0].time, pts[0].procs, pts[0].jobs), (100, 2, 1));
+        assert_eq!((pts[1].time, pts[1].procs, pts[1].jobs), (250, 4, 2));
+
+        s.finish(JobId(0));
+        s.finish(JobId(1));
+        s.finish(JobId(2));
+        assert!(s.releases().is_empty());
+        s.assert_consistent();
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn schedulers() -> Vec<Box<dyn Scheduler>> {
         Box::new(FcfsScheduler),
         Box::new(EasyScheduler::new()),
         Box::new(EasyScheduler::sjbf()),
-        Box::new(ConservativeScheduler),
+        Box::new(ConservativeScheduler::new()),
     ]
 }
 

@@ -33,7 +33,7 @@ fn main() {
         Box::new(FcfsScheduler),
         Box::new(EasyScheduler::new()),
         Box::new(EasyScheduler::sjbf()),
-        Box::new(ConservativeScheduler),
+        Box::new(ConservativeScheduler::new()),
     ];
 
     for scheduler in schedulers.iter_mut() {

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset this workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `sample_size`, `throughput`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a deliberately simple measurement loop: a short warm-up, then
+//! `sample_size` timed samples whose median per-iteration time is printed
+//! to stderr. No statistics, plots, or `target/criterion` reports.
+//!
+//! Passing `--test` as a CLI argument (as `cargo test --benches` does)
+//! runs every benchmark exactly once, unmeasured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The timing loop handed to each benchmark closure. Records the median
+/// per-iteration time of the last `iter` call so the harness can report
+/// it.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` through a warm-up plus `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warm-up
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        self.median = Some(times[times.len() / 2]);
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+}
+
+impl Settings {
+    fn run<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.test_mode,
+            median: None,
+        };
+        f(&mut b);
+        if self.test_mode {
+            eprintln!("bench {name}: ok (test mode)");
+            return;
+        }
+        match b.median {
+            Some(median) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                        format!(" ({:.0} elements/s)", n as f64 / median.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                        format!(" ({:.0} bytes/s)", n as f64 / median.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                eprintln!(
+                    "bench {name}: median {median:?} over {} samples{rate}",
+                    self.sample_size
+                );
+            }
+            None => eprintln!("bench {name}: closure never called Bencher::iter"),
+        }
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            settings: Settings {
+                sample_size: 10,
+                test_mode,
+                throughput: None,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.settings.run(name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `group_name/name`.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.settings.run(&full, f);
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.settings.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 3,
+                test_mode: false,
+                throughput: None,
+            },
+        };
+        let mut calls = 0usize;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        // warm-up + 3 samples.
+        assert_eq!(calls, 4);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).throughput(Throughput::Elements(100));
+        let mut group_calls = 0usize;
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+            b.iter(|| {
+                group_calls += n;
+                black_box(group_calls)
+            })
+        });
+        g.finish();
+        assert_eq!(group_calls, 7 * 3);
+    }
+}
