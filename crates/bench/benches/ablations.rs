@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
         ..ExperimentSetup::quick()
     }
     .workload("kth")
+    .map(predictsim_experiments::LoadedWorkload::from)
     .expect("KTH preset");
     eprintln!("\n=== Ablations on {} ===", w.name);
     eprintln!(
@@ -33,14 +34,20 @@ fn bench(c: &mut Criterion) {
         render_ablation("Loss shape x weighting", &ablate_loss(&w))
     );
 
-    let small = measure_workload();
+    let small: predictsim_experiments::LoadedWorkload = measure_workload().into();
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("scheduler_ablation", |b| {
-        b.iter(|| std::hint::black_box(ablate_scheduler(&small)))
+        b.iter(|| {
+            predictsim_experiments::SimCache::global().clear_memory();
+            std::hint::black_box(ablate_scheduler(&small))
+        })
     });
     g.bench_function("optimizer_ablation", |b| {
-        b.iter(|| std::hint::black_box(ablate_optimizer(&small)))
+        b.iter(|| {
+            predictsim_experiments::SimCache::global().clear_memory();
+            std::hint::black_box(ablate_optimizer(&small))
+        })
     });
     g.finish();
 }

@@ -25,8 +25,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     g.bench_function("two_log_scatter", |b| {
+        let loaded: Vec<predictsim_experiments::LoadedWorkload> =
+            ws.iter().map(Into::into).collect();
         b.iter(|| {
-            let cs: Vec<_> = ws.iter().map(|w| run_campaign(w, &reduced)).collect();
+            predictsim_experiments::SimCache::global().clear_memory();
+            let cs: Vec<_> = loaded
+                .iter()
+                .map(|w| predictsim_experiments::campaign::run_campaign_loaded(w, &reduced))
+                .collect();
             std::hint::black_box(fig3(&cs, &ws[0].name, &ws[1].name))
         })
     });

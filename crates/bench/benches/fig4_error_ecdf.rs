@@ -12,6 +12,7 @@ fn bench(c: &mut Criterion) {
         ..ExperimentSetup::quick()
     }
     .workload("curie")
+    .map(predictsim_experiments::LoadedWorkload::from)
     .expect("Curie preset");
     let fig = fig4_fig5(&curie, 97);
     eprintln!(
@@ -20,11 +21,14 @@ fn bench(c: &mut Criterion) {
         render_ecdf_series(&fig.error_series, "h")
     );
 
-    let w = measure_workload();
+    let w: predictsim_experiments::LoadedWorkload = measure_workload().into();
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
     g.bench_function("error_ecdfs", |b| {
-        b.iter(|| std::hint::black_box(fig4_fig5(&w, 49).error_series))
+        b.iter(|| {
+            predictsim_experiments::SimCache::global().clear_memory();
+            std::hint::black_box(fig4_fig5(&w, 49).error_series)
+        })
     });
     g.finish();
 }

@@ -13,6 +13,7 @@ fn bench(c: &mut Criterion) {
         ..ExperimentSetup::quick()
     }
     .workload("curie")
+    .map(predictsim_experiments::LoadedWorkload::from)
     .expect("Curie preset");
     let fig = fig4_fig5(&curie, 97);
     eprintln!(
@@ -21,11 +22,14 @@ fn bench(c: &mut Criterion) {
         render_ecdf_series(&fig.value_series, "h")
     );
 
-    let w = measure_workload();
+    let w: predictsim_experiments::LoadedWorkload = measure_workload().into();
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     g.bench_function("value_ecdfs", |b| {
-        b.iter(|| std::hint::black_box(fig4_fig5(&w, 49).value_series))
+        b.iter(|| {
+            predictsim_experiments::SimCache::global().clear_memory();
+            std::hint::black_box(fig4_fig5(&w, 49).value_series)
+        })
     });
     g.finish();
 }

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use predictsim_bench::measure_workload;
-use predictsim_experiments::{run_campaign, HeuristicTriple};
+use predictsim_experiments::HeuristicTriple;
 
 fn bench(c: &mut Criterion) {
     let w = measure_workload();
@@ -16,13 +16,17 @@ fn bench(c: &mut Criterion) {
         HeuristicTriple::clairvoyant(predictsim_experiments::Variant::EasySjbf),
     ];
 
+    let loaded = predictsim_experiments::LoadedWorkload::from(&w);
     let mut g = c.benchmark_group("parallel_scaling");
     g.sample_size(10);
     for width in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("campaign", width), &width, |b, &n| {
             b.iter(|| {
+                predictsim_experiments::SimCache::global().clear_memory();
                 rayon::pool::with_num_threads(n, || {
-                    std::hint::black_box(run_campaign(&w, &triples))
+                    std::hint::black_box(predictsim_experiments::campaign::run_campaign_loaded(
+                        &loaded, &triples,
+                    ))
                 })
             })
         });

@@ -9,7 +9,9 @@ use predictsim_experiments::{HeuristicTriple, Variant};
 use predictsim_sim::SimConfig;
 
 fn bench(c: &mut Criterion) {
-    let rows = table1(&print_workloads());
+    let workloads: Vec<predictsim_experiments::LoadedWorkload> =
+        print_workloads().into_iter().map(Into::into).collect();
+    let rows = table1(&workloads);
     eprintln!(
         "\n=== Table 1 (scale {}) ===\n{}",
         predictsim_bench::PRINT_SCALE,

@@ -29,7 +29,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table6");
     g.sample_size(10);
     g.bench_function("reduced_campaign", |b| {
-        b.iter(|| std::hint::black_box(run_campaign(&w, &reduced)))
+        let loaded = predictsim_experiments::LoadedWorkload::from(&w);
+        b.iter(|| {
+            // Measure fresh simulations, not cache recalls — on the
+            // pre-built arena, so the per-iteration work is simulation.
+            predictsim_experiments::SimCache::global().clear_memory();
+            std::hint::black_box(predictsim_experiments::campaign::run_campaign_loaded(
+                &loaded, &reduced,
+            ))
+        })
     });
     g.finish();
 }

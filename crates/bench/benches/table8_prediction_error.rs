@@ -12,6 +12,7 @@ fn bench(c: &mut Criterion) {
         ..ExperimentSetup::quick()
     }
     .workload("curie")
+    .map(predictsim_experiments::LoadedWorkload::from)
     .expect("Curie preset");
     eprintln!(
         "\n=== Table 8 on {} ===\n{}",
@@ -19,11 +20,14 @@ fn bench(c: &mut Criterion) {
         render_table8(&table8(&curie))
     );
 
-    let w = measure_workload();
+    let w: predictsim_experiments::LoadedWorkload = measure_workload().into();
     let mut g = c.benchmark_group("table8");
     g.sample_size(10);
     g.bench_function("mae_and_eloss_comparison", |b| {
-        b.iter(|| std::hint::black_box(table8(&w)))
+        b.iter(|| {
+            predictsim_experiments::SimCache::global().clear_memory();
+            std::hint::black_box(table8(&w))
+        })
     });
     g.finish();
 }

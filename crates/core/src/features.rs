@@ -11,11 +11,11 @@
 //! the running set at the job's release date — no information from the
 //! future ever enters a feature vector.
 
-use std::collections::HashMap;
-
 use predictsim_sim::state::SystemView;
 use predictsim_sim::time::{DAY, WEEK};
 use predictsim_sim::Job;
+
+use predictsim_sim::hash::FxHashMap;
 
 /// Number of features in the Table 2 representation.
 pub const N_FEATURES: usize = 20;
@@ -109,7 +109,7 @@ impl UserHistory {
 /// 2. at completion: [`FeatureExtractor::record_completion`].
 #[derive(Debug, Clone, Default)]
 pub struct FeatureExtractor {
-    users: HashMap<u32, UserHistory>,
+    users: FxHashMap<u32, UserHistory>,
 }
 
 impl FeatureExtractor {
@@ -147,19 +147,36 @@ impl FeatureExtractor {
             1.0
         };
 
-        // Current-state features over the user's running jobs.
+        // Current-state features over the user's running jobs. The
+        // engine's per-user index serves the same `(procs, start)` set as
+        // a scan of the full running vector, and every aggregate below is
+        // order-free (integer-valued f64 sums and a max are exact), so
+        // the two paths produce identical features — the index just skips
+        // the O(running) scan per submission.
         let mut n_running = 0.0;
         let mut sum_q_running = 0.0;
         let mut longest = 0.0;
         let mut sum_elapsed = 0.0;
         let mut occupied = 0.0;
-        for r in system.running_of_user(job.user) {
+        let mut tally = |procs: u32, start: predictsim_sim::Time| {
             n_running += 1.0;
-            sum_q_running += r.procs as f64;
-            let elapsed = r.elapsed(system.now) as f64;
+            sum_q_running += procs as f64;
+            let elapsed = system.now.since(start) as f64;
             longest = f64::max(longest, elapsed);
             sum_elapsed += elapsed;
-            occupied += r.procs as f64;
+            occupied += procs as f64;
+        };
+        match system.user_running {
+            Some(index) => {
+                for &(procs, start) in index.of_user(job.user) {
+                    tally(procs, start);
+                }
+            }
+            None => {
+                for r in system.running_of_user(job.user) {
+                    tally(r.procs, r.start);
+                }
+            }
         }
         let ave_curr_q = if n_running > 0.0 {
             sum_q_running / n_running
@@ -257,6 +274,7 @@ mod tests {
             now: Time(now),
             machine_size: 64,
             running,
+            user_running: None,
         }
     }
 

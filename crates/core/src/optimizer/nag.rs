@@ -38,6 +38,19 @@ pub struct NagOptimizer {
     n_acc: f64,
     /// Example counter `t`.
     t: u64,
+    /// Per-step scratch: the coordinate gradients `g_i`, computed once
+    /// and shared by the probe and apply passes of
+    /// [`NagOptimizer::step_bounded`].
+    grad: Vec<f64>,
+    /// Per-step scratch: `s_i·√(G_i + g_i²)`, likewise computed once.
+    denom: Vec<f64>,
+    /// Per-step scratch for branch-free reductions (each entry is the
+    /// addend the reduction would have accumulated, or exactly 0.0 for
+    /// coordinates the branchy formulation skips).
+    terms: Vec<f64>,
+    /// Per-step scratch: whether each coordinate takes part in the step
+    /// (`s_i ≠ 0` and accumulated gradient positive).
+    active: Vec<bool>,
 }
 
 impl NagOptimizer {
@@ -50,6 +63,10 @@ impl NagOptimizer {
             g2: vec![0.0; dim],
             n_acc: 0.0,
             t: 0,
+            grad: vec![0.0; dim],
+            denom: vec![0.0; dim],
+            terms: vec![0.0; dim],
+            active: vec![false; dim],
         }
     }
 
@@ -63,6 +80,18 @@ impl OnlineOptimizer for NagOptimizer {
     fn prepare(&mut self, weights: &mut [f64], phi: &[f64]) {
         debug_assert_eq!(weights.len(), phi.len());
         debug_assert_eq!(weights.len(), self.scale.len());
+        // Fast path: after warm-up, almost no example grows any
+        // coordinate's scale — a branch-free any-check (vectorizable)
+        // skips the per-coordinate branching entirely. When nothing
+        // grows, the branchy loop below would not write anything, so
+        // returning early is exact.
+        let mut grows = false;
+        for (&p, &s) in phi.iter().zip(&self.scale) {
+            grows |= p.abs() > s;
+        }
+        if !grows {
+            return;
+        }
         for i in 0..phi.len() {
             let a = phi[i].abs();
             if a > self.scale[i] {
@@ -85,45 +114,79 @@ impl OnlineOptimizer for NagOptimizer {
     ) {
         debug_assert_eq!(weights.len(), phi.len());
         self.t += 1;
+        let dim = weights.len();
+        self.grad.resize(dim, 0.0);
+        self.denom.resize(dim, 0.0);
+        self.terms.resize(dim, 0.0);
+        self.active.resize(dim, false);
+
+        // The step is organized as simple unconditional elementwise
+        // passes whose results are masked by exact selects afterwards,
+        // instead of one branchy loop — divisions and square roots are
+        // IEEE-exact per element, so the *selected* values are
+        // bit-identical to the branchy formulation while the passes stay
+        // auto-vectorizable (a skipped coordinate may compute an inf/NaN
+        // intermediate, but it is never selected). Reductions still run
+        // in coordinate order; skipped coordinates feed them an exact
+        // `0.0`, and `x ± 0.0 == x` for every value they can hold.
+
+        let phi = &phi[..dim];
+        let scale = &self.scale[..dim];
+        let grad = &mut self.grad[..dim];
+        let denom = &mut self.denom[..dim];
+        let terms = &mut self.terms[..dim];
+        let active = &mut self.active[..dim];
+        let g2_acc = &mut self.g2[..dim];
+
         // Global normalizer: squared feature magnitudes in scale units.
+        for i in 0..dim {
+            let r = phi[i] / scale[i];
+            terms[i] = if scale[i] > 0.0 { r * r } else { 0.0 };
+        }
         let mut contrib = 0.0;
-        for (&p, &s) in phi.iter().zip(&self.scale) {
-            if s > 0.0 {
-                let r = p / s;
-                contrib += r * r;
-            }
+        for &t in terms.iter() {
+            contrib += t;
         }
         self.n_acc += contrib;
         if self.n_acc <= 0.0 {
             return; // all-zero example: nothing to learn from
         }
         let global = self.eta * (self.t as f64 / self.n_acc).sqrt();
-        // Tentative per-coordinate deltas (the incoming gradient counts
-        // in its own AdaGrad denominator) and the prediction change they
-        // would cause.
-        let mut df = 0.0;
-        for i in 0..weights.len() {
-            if self.scale[i] == 0.0 {
-                continue;
-            }
+
+        // Probe pass: per-coordinate gradients, AdaGrad denominators and
+        // the tentative prediction change, each computed once and kept in
+        // scratch for the apply pass (which previously recomputed
+        // gradient, square and square root — the cached values are the
+        // same bits, just not paid for twice).
+        for i in 0..dim {
             let g = coordinate_gradient(dloss_df, phi[i], l2, weights[i]);
-            let g2 = self.g2[i] + g * g;
-            if g2 > 0.0 {
-                df -= global * g * phi[i] / (self.scale[i] * g2.sqrt());
-            }
+            let g2 = g2_acc[i] + g * g;
+            grad[i] = g;
+            denom[i] = scale[i] * g2.sqrt();
+            active[i] = scale[i] != 0.0 && g2 > 0.0;
+        }
+        for i in 0..dim {
+            let term = global * grad[i] * phi[i] / denom[i];
+            terms[i] = if active[i] { term } else { 0.0 };
+        }
+        let mut df = 0.0;
+        for &t in terms.iter() {
+            df -= t;
         }
         let r = clip_ratio(df, max_abs_df);
-        for i in 0..weights.len() {
-            if self.scale[i] == 0.0 {
-                continue;
-            }
-            let g = coordinate_gradient(dloss_df, phi[i], l2, weights[i]);
-            let g2 = self.g2[i] + g * g;
-            if g2 > 0.0 {
-                weights[i] -= r * global * g / (self.scale[i] * g2.sqrt());
-            }
-            let rg = r * g;
-            self.g2[i] += rg * rg;
+
+        // Apply pass, reusing the probe pass's gradients and denominators
+        // (`r·global` is coordinate-invariant and hoisted — the original
+        // expression associates as `(r·global)·g`, so the hoist is
+        // exact). Skipped coordinates subtract an exact 0.0 from their
+        // weight and add an exact 0.0 to their gradient accumulator.
+        let r_global = r * global;
+        for i in 0..dim {
+            let delta = r_global * grad[i] / denom[i];
+            weights[i] -= if active[i] { delta } else { 0.0 };
+            let rg = r * grad[i];
+            let rg2 = rg * rg;
+            g2_acc[i] += if scale[i] != 0.0 { rg2 } else { 0.0 };
         }
     }
 

@@ -14,8 +14,6 @@
 //!   ([`MlConfig`]). [`MlPredictor::e_loss`] builds the winning E-Loss
 //!   configuration of §6.3.3.
 
-use std::collections::HashMap;
-
 use predictsim_sim::predict::RuntimePredictor;
 use predictsim_sim::state::SystemView;
 use predictsim_sim::Job;
@@ -169,9 +167,13 @@ pub struct MlPredictor {
     config: MlConfig,
     extractor: FeatureExtractor,
     model: OnlineRegression,
-    /// Features captured at submit time, keyed by dense job id, consumed
-    /// at completion.
-    pending: HashMap<u32, [f64; N_FEATURES]>,
+    /// Features captured at submit time, indexed by dense job id (the
+    /// engine numbers jobs `0..n`, so a slab beats a hash map here),
+    /// consumed at completion.
+    pending: Vec<Option<[f64; N_FEATURES]>>,
+    /// Number of `Some` entries in `pending` (jobs predicted but not yet
+    /// observed).
+    in_flight: usize,
 }
 
 impl MlPredictor {
@@ -181,7 +183,8 @@ impl MlPredictor {
             config,
             extractor: FeatureExtractor::new(),
             model: config.build_model(),
-            pending: HashMap::new(),
+            pending: Vec::new(),
+            in_flight: 0,
         }
     }
 
@@ -221,20 +224,31 @@ impl RuntimePredictor for MlPredictor {
         let x = self.extractor.extract(job, system);
         self.extractor.record_submit(job);
         let raw = self.model.predict(&x);
-        self.pending.insert(job.id.0, x);
+        let index = job.id.index();
+        if index >= self.pending.len() {
+            self.pending.resize(index + 1, None);
+        }
+        if self.pending[index].replace(x).is_none() {
+            self.in_flight += 1;
+        }
         raw // the engine clamps into [1, p̃_j]
     }
 
     fn observe(&mut self, job: &Job, actual_run: i64, system: &SystemView<'_>) {
         self.extractor
             .record_completion(job, actual_run, system.now.0);
-        if let Some(x) = self.pending.remove(&job.id.0) {
+        if let Some(x) = self.pending.get_mut(job.id.index()).and_then(Option::take) {
+            self.in_flight -= 1;
             self.model.learn(&x, actual_run as f64, job.procs as f64);
         }
     }
 
     fn name(&self) -> String {
         self.config.name()
+    }
+
+    fn wants_user_running_index(&self) -> bool {
+        true // Table 2's current-state features are per-user aggregates
     }
 }
 
@@ -243,7 +257,7 @@ impl std::fmt::Debug for MlPredictor {
         f.debug_struct("MlPredictor")
             .field("config", &self.config)
             .field("examples", &self.model.examples())
-            .field("pending", &self.pending.len())
+            .field("pending", &self.in_flight)
             .finish()
     }
 }
@@ -271,6 +285,7 @@ mod tests {
             now: Time(now),
             machine_size: 64,
             running: &[],
+            user_running: None,
         }
     }
 

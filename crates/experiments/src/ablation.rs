@@ -12,10 +12,9 @@ use serde::{Deserialize, Serialize};
 use predictsim_core::loss::AsymmetricLoss;
 use predictsim_core::predictor::{BasisKind, MlConfig, OptimizerKind};
 use predictsim_core::weighting::WeightingScheme;
-use predictsim_sim::SimConfig;
-use predictsim_workload::GeneratedWorkload;
 
-use crate::scenario::Scenario;
+use crate::cache::SimCache;
+use crate::source::LoadedWorkload;
 use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
 
 /// One labeled ablation measurement.
@@ -29,22 +28,17 @@ pub struct AblationRow {
     pub corrections: u64,
 }
 
-fn run_rows(
-    workload: &GeneratedWorkload,
-    runs: Vec<(String, HeuristicTriple)>,
-) -> Vec<AblationRow> {
-    let cfg = SimConfig {
-        machine_size: workload.machine_size,
-    };
+fn run_rows(workload: &LoadedWorkload, runs: Vec<(String, HeuristicTriple)>) -> Vec<AblationRow> {
+    let cache = SimCache::global();
     runs.into_par_iter()
         .map(|(label, triple)| {
-            let sim = Scenario::from_triple(&triple)
-                .run_on(&workload.jobs, cfg)
+            let cell = cache
+                .run_cell(&workload.jobs, workload.machine_size, &triple)
                 .unwrap_or_else(|e| panic!("ablation {label} failed: {e}"));
             AblationRow {
                 label,
-                ave_bsld: sim.ave_bsld(),
-                corrections: sim.total_corrections(),
+                ave_bsld: cell.result.ave_bsld,
+                corrections: cell.result.corrections,
             }
         })
         .collect()
@@ -53,7 +47,7 @@ fn run_rows(
 /// Scheduler ablation under clairvoyance: FCFS vs EASY vs EASY-SJBF vs
 /// conservative backfilling. Isolates how much of the win is pure
 /// scheduling mechanics.
-pub fn ablate_scheduler(workload: &GeneratedWorkload) -> Vec<AblationRow> {
+pub fn ablate_scheduler(workload: &LoadedWorkload) -> Vec<AblationRow> {
     let runs = [
         Variant::Fcfs,
         Variant::Easy,
@@ -77,7 +71,7 @@ pub fn ablate_scheduler(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 
 /// Correction-mechanism ablation with the E-Loss learner under EASY-SJBF
 /// (§5.2's three options).
-pub fn ablate_correction(workload: &GeneratedWorkload) -> Vec<AblationRow> {
+pub fn ablate_correction(workload: &LoadedWorkload) -> Vec<AblationRow> {
     let runs = CorrectionKind::ALL
         .into_iter()
         .map(|c| {
@@ -96,7 +90,7 @@ pub fn ablate_correction(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 
 /// Optimizer ablation: NAG (the paper's choice) vs SGD vs AdaGrad with
 /// identical loss, correction and variant.
-pub fn ablate_optimizer(workload: &GeneratedWorkload) -> Vec<AblationRow> {
+pub fn ablate_optimizer(workload: &LoadedWorkload) -> Vec<AblationRow> {
     let runs = [
         OptimizerKind::Nag,
         OptimizerKind::Sgd,
@@ -121,7 +115,7 @@ pub fn ablate_optimizer(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 
 /// Basis ablation: degree-2 polynomial (Equation 1) vs a plain linear
 /// model over the same features.
-pub fn ablate_basis(workload: &GeneratedWorkload) -> Vec<AblationRow> {
+pub fn ablate_basis(workload: &LoadedWorkload) -> Vec<AblationRow> {
     let runs = [BasisKind::Polynomial, BasisKind::Linear]
         .into_iter()
         .map(|basis| {
@@ -143,7 +137,7 @@ pub fn ablate_basis(workload: &GeneratedWorkload) -> Vec<AblationRow> {
 /// Loss-shape ablation: the E-Loss asymmetry vs the symmetric squared
 /// loss, both area-weighted and unweighted (the Figure 4/5 comparison as
 /// scheduling numbers).
-pub fn ablate_loss(workload: &GeneratedWorkload) -> Vec<AblationRow> {
+pub fn ablate_loss(workload: &LoadedWorkload) -> Vec<AblationRow> {
     let combos = [
         (
             "eloss/area",
@@ -200,11 +194,11 @@ mod tests {
     use super::*;
     use predictsim_workload::{generate, WorkloadSpec};
 
-    fn tiny() -> GeneratedWorkload {
+    fn tiny() -> LoadedWorkload {
         let mut spec = WorkloadSpec::toy();
         spec.jobs = 250;
         spec.duration = 3 * 86_400;
-        generate(&spec, 21)
+        generate(&spec, 21).into()
     }
 
     #[test]

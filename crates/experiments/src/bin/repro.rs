@@ -24,6 +24,8 @@
 //!   --threads N      pin the worker-pool width (default: RAYON_NUM_THREADS
 //!                    or the machine's parallelism)
 //!   --timing         record per-phase wall-clock into EXPERIMENTS.md
+//!   --cache DIR      persist simulated cells to DIR; later runs reuse them
+//!   --prune          early-abort dominated campaign triples (sweep mode)
 //!   --list           print every registered scheduler/predictor/correction
 //!
 //! SCENARIO OPTIONS (with the `scenario` experiment)
@@ -40,18 +42,20 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use predictsim_experiments::ablation;
-use predictsim_experiments::campaign::{run_campaign, CampaignResult, TripleResult};
+use predictsim_experiments::cache::SimCache;
+use predictsim_experiments::campaign::{
+    run_campaign_loaded, run_campaign_pruned, CampaignResult, TripleResult,
+};
 use predictsim_experiments::context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
 use predictsim_experiments::figures::{fig3, fig4_fig5, render_ecdf_series, render_fig3};
 use predictsim_experiments::registry::render_registry;
 use predictsim_experiments::scenario::Scenario;
-use predictsim_experiments::source::{SwfSource, SyntheticSource, WorkloadSource};
+use predictsim_experiments::source::{LoadedWorkload, SwfSource, SyntheticSource, WorkloadSource};
 use predictsim_experiments::tables::{
     render_table1, render_table6, render_table7, render_table8, table1, table6, table7, table8,
 };
 use predictsim_experiments::timing::{record_timing, PhaseTimer};
 use predictsim_experiments::triple::{campaign_triples, reference_triples, HeuristicTriple};
-use predictsim_workload::GeneratedWorkload;
 
 struct Options {
     setup: ExperimentSetup,
@@ -59,6 +63,8 @@ struct Options {
     experiments: Vec<String>,
     threads: Option<usize>,
     timing: bool,
+    cache_dir: Option<std::path::PathBuf>,
+    prune: bool,
     swf: Option<std::path::PathBuf>,
     log: Option<String>,
     scheduler: Option<String>,
@@ -75,6 +81,8 @@ fn parse_args() -> Result<Options, String> {
     let mut experiments = Vec::new();
     let mut threads = None;
     let mut timing = false;
+    let mut cache_dir = None;
+    let mut prune = false;
     let mut swf = None;
     let mut log = None;
     let mut scheduler = None;
@@ -122,6 +130,12 @@ fn parse_args() -> Result<Options, String> {
                 threads = Some(n);
             }
             "--timing" => timing = true,
+            "--cache" => {
+                cache_dir = Some(std::path::PathBuf::from(
+                    args.next().ok_or("--cache needs a directory")?,
+                ));
+            }
+            "--prune" => prune = true,
             "--help" | "-h" => {
                 experiments.clear();
                 experiments.push("help".into());
@@ -157,6 +171,8 @@ fn parse_args() -> Result<Options, String> {
         experiments,
         threads,
         timing,
+        cache_dir,
+        prune,
         swf,
         log,
         scheduler,
@@ -175,26 +191,86 @@ fn write_json<T: serde::Serialize>(dir: &Option<std::path::PathBuf>, name: &str,
     println!("  wrote {}", path.display());
 }
 
+/// One log's campaign timing + cache effectiveness, for the `--timing`
+/// breakdown.
+struct CampaignLogStat {
+    log: String,
+    secs: f64,
+    simulated: u64,
+    hits: u64,
+    pruned: usize,
+}
+
 /// Campaigns (128 triples + 2 clairvoyant references per log) are the
-/// expensive shared input of table6/table7/fig3; compute them once.
-fn campaigns(workloads: &[GeneratedWorkload]) -> Vec<CampaignResult> {
+/// expensive shared input of table6/table7/fig3; compute them once —
+/// through the process-wide simulation cache, and with dominated-triple
+/// pruning when `--prune` is given.
+fn campaigns(
+    workloads: &[LoadedWorkload],
+    prune: bool,
+    stats_out: &mut Vec<CampaignLogStat>,
+) -> Vec<CampaignResult> {
     let mut triples = campaign_triples();
     triples.extend(reference_triples());
-    workloads
+    let cache = SimCache::global();
+    let mut pruned_anywhere = std::collections::HashSet::new();
+    let mut results: Vec<CampaignResult> = workloads
         .iter()
         .map(|w| {
             let t0 = Instant::now();
-            let c = run_campaign(w, &triples);
+            let before = cache.stats();
+            let (c, pruned) = if prune {
+                let p = run_campaign_pruned(w, &triples);
+                let count = p.pruned.len();
+                pruned_anywhere.extend(p.pruned);
+                (p.campaign, count)
+            } else {
+                (run_campaign_loaded(w, &triples), 0)
+            };
+            let delta = cache.stats().since(before);
+            let secs = t0.elapsed().as_secs_f64();
             eprintln!(
-                "  campaign {}: {} triples x {} jobs in {:.1}s",
+                "  campaign {}: {} triples x {} jobs in {:.1}s ({} simulated, {} cache hits{})",
                 c.log,
                 c.results.len(),
                 c.jobs,
-                t0.elapsed().as_secs_f64()
+                secs,
+                delta.simulated,
+                delta.hits(),
+                if prune {
+                    format!(", {pruned} pruned")
+                } else {
+                    String::new()
+                },
             );
+            stats_out.push(CampaignLogStat {
+                log: c.log.clone(),
+                secs,
+                simulated: delta.simulated,
+                hits: delta.hits(),
+                pruned,
+            });
             c
         })
-        .collect()
+        .collect();
+    // Sweep mode reports only exact numbers: cells pruned on *any* log
+    // leave every campaign (their recorded metrics are lower bounds,
+    // not values), keeping the downstream tables, figures and the
+    // cross-validated selection on fully simulated triples — with a
+    // consistent triple set across logs, which the leave-one-out
+    // selection requires. Per-log winners are unaffected (a pruned
+    // triple is, by construction, dominated on the log that pruned it).
+    if prune && !pruned_anywhere.is_empty() {
+        eprintln!(
+            "  pruning: {} of {} triples dominated somewhere; reporting the rest",
+            pruned_anywhere.len(),
+            triples.len(),
+        );
+        for c in &mut results {
+            c.results.retain(|r| !pruned_anywhere.contains(&r.triple));
+        }
+    }
+    results
 }
 
 fn main() {
@@ -214,6 +290,10 @@ fn main() {
         if opts.experiments.iter().all(|e| e == "list") {
             return;
         }
+    }
+    if let Some(dir) = &opts.cache_dir {
+        SimCache::global().set_persist_dir(Some(dir.clone()));
+        eprintln!("persistent simulation cache: {}", dir.display());
     }
     match opts.threads {
         // The override is thread-local; every fan-out in `run` starts
@@ -328,20 +408,30 @@ fn run(opts: &Options) {
         run_scenario(opts, &mut timer);
     }
 
-    let workloads = if needs_presets {
-        timer.time("workload generation", || opts.setup.workloads())
+    // Generate once, then load into shared fingerprinted arenas: every
+    // experiment below reads the same `LoadedWorkload`s, so the per-log
+    // fingerprint is computed exactly once and no fan-out ever clones a
+    // job vector.
+    let workloads: Vec<LoadedWorkload> = if needs_presets {
+        timer.time("workload generation", || {
+            opts.setup
+                .workloads()
+                .into_iter()
+                .map(|w| {
+                    eprintln!(
+                        "  generated {}: {} jobs, m={}, offered util {:.2}",
+                        w.name,
+                        w.jobs.len(),
+                        w.machine_size,
+                        w.stats.offered_utilization
+                    );
+                    LoadedWorkload::from(w)
+                })
+                .collect()
+        })
     } else {
         Vec::new()
     };
-    for w in &workloads {
-        eprintln!(
-            "  generated {}: {} jobs, m={}, offered util {:.2}",
-            w.name,
-            w.jobs.len(),
-            w.machine_size,
-            w.stats.offered_utilization
-        );
-    }
 
     if wants("table1") {
         println!("## Table 1 — EASY vs EASY-Clairvoyant (§2.2)\n");
@@ -352,10 +442,28 @@ fn run(opts: &Options) {
 
     let campaign_results = if needs_campaigns {
         eprintln!(
-            "running campaigns ({} sims/log)...",
-            campaign_triples().len() + 2
+            "running campaigns ({} sims/log{})...",
+            campaign_triples().len() + 2,
+            if opts.prune { ", pruning" } else { "" },
         );
-        let cs = timer.time("campaigns", || campaigns(&workloads));
+        let mut per_log = Vec::new();
+        let cs = timer.time("campaigns", || {
+            campaigns(&workloads, opts.prune, &mut per_log)
+        });
+        for stat in per_log {
+            timer.record(&format!("campaigns · {}", stat.log), stat.secs);
+            timer.note(format!(
+                "campaigns · {}: {} cells simulated, {} cache hits{}",
+                stat.log,
+                stat.simulated,
+                stat.hits,
+                if opts.prune {
+                    format!(", {} pruned", stat.pruned)
+                } else {
+                    String::new()
+                },
+            ));
+        }
         write_json(&opts.out_dir, "campaigns.json", &cs);
         Some(cs)
     } else {
@@ -464,6 +572,15 @@ fn run(opts: &Options) {
         );
     }
 
+    let cache_stats = SimCache::global().stats();
+    eprintln!(
+        "cache summary: simulated={} memory_hits={} disk_hits={}",
+        cache_stats.simulated, cache_stats.memory_hits, cache_stats.disk_hits
+    );
+    timer.note(format!(
+        "cache totals: {} cells simulated, {} memory hits, {} disk hits",
+        cache_stats.simulated, cache_stats.memory_hits, cache_stats.disk_hits
+    ));
     eprintln!("\ntotal wall time: {:.1}s", timer.total());
     if opts.timing {
         let experiments = opts.experiments.join(" ");
@@ -516,7 +633,15 @@ OPTIONS
   --out DIR    also write JSON artifacts to DIR
   --threads N  pin the worker-pool width (default: RAYON_NUM_THREADS or
                the machine's parallelism); results are identical at any N
-  --timing     record per-phase wall-clock into ./EXPERIMENTS.md
+  --timing     record per-phase wall-clock into ./EXPERIMENTS.md (with a
+               per-log campaigns breakdown and cache-effectiveness counts)
+  --cache DIR  persist simulated cells to DIR and reuse them across runs
+               (a repeated run over unchanged workloads simulates nothing)
+  --prune      early-abort campaign triples whose AVEbsld lower bound
+               already exceeds the best baseline (sweep mode; winner
+               preserved, pruned cells record lower bounds; default off —
+               without it all outputs are byte-identical to previous
+               releases)
   --list       print every registered scheduler/predictor/correction name
 
 SCENARIO OPTIONS (imply the scenario experiment when no other is named)

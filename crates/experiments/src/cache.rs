@@ -1,0 +1,537 @@
+//! Process-wide simulation memoization, with an opt-in persistent layer.
+//!
+//! The repro pipeline re-simulates the same (workload × policy triple)
+//! cells from several experiments: the campaign grid is re-read by
+//! cross-validation, Table 1 runs two of the campaign's cells per log,
+//! Table 8 and Figures 4/5 re-run campaign cells on Curie, and the
+//! ablations overlap the grid on the first log. [`SimCache`] keys each
+//! simulated cell by (workload [fingerprint](JobArena::fingerprint) ×
+//! canonical triple name × machine size) and memoizes the cell's
+//! aggregate [`TripleResult`] plus its per-job initial predictions —
+//! everything any consumer reads — so every distinct cell simulates
+//! **once per process**, whichever experiment asks first.
+//!
+//! The optional persistent layer (`repro --cache DIR`) writes each cell
+//! to `DIR` as JSON and reads it back in later invocations: a repeated
+//! `repro` run over unchanged workloads simulates nothing. Entries are
+//! verified against the full key on load, and the fingerprint is a
+//! fixed, platform-independent encoding, so a cache directory is
+//! portable. Cached cells reproduce fresh runs *byte-identically*: the
+//! stored [`TripleResult`] is the same value a fresh simulation
+//! aggregates, and prediction vectors round-trip losslessly through
+//! JSON (they are `i64`s).
+//!
+//! Memory discipline: aggregates are tiny and kept for every cell;
+//! prediction vectors are kept only while the cache's prediction budget
+//! ([`SimCache::PREDICTION_BUDGET`]) lasts — past it, new entries drop
+//! them (consumers that need predictions then re-simulate that cell;
+//! aggregates stay served from the cache).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::TripleResult;
+use crate::scenario::{Scenario, ScenarioError};
+use crate::source::JobArena;
+use crate::triple::HeuristicTriple;
+
+/// One memoized simulation cell.
+#[derive(Debug, Clone)]
+pub struct CachedCell {
+    /// The cell's aggregate metrics (bit-identical to a fresh
+    /// [`TripleResult::from_sim`]).
+    pub result: TripleResult,
+    /// The clamped initial prediction of every job, by dense job id —
+    /// `None` when the prediction budget was exhausted when this cell
+    /// was inserted (aggregates are still cached).
+    pub predictions: Option<Arc<Vec<i64>>>,
+}
+
+/// Cache identity of one cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CellKey {
+    fingerprint: u64,
+    machine_size: u32,
+    triple: String,
+}
+
+/// Cumulative cache accounting (process-wide).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells actually simulated (cache misses).
+    pub simulated: u64,
+    /// Cells served from process memory.
+    pub memory_hits: u64,
+    /// Cells served from the persistent directory.
+    pub disk_hits: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.simulated + self.memory_hits + self.disk_hits
+    }
+
+    /// Hits from either layer.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Difference since `earlier` (for per-phase attribution).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            simulated: self.simulated - earlier.simulated,
+            memory_hits: self.memory_hits - earlier.memory_hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+        }
+    }
+}
+
+/// The on-disk form of a cell: the full key (verified on load) plus the
+/// payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DiskCell {
+    fingerprint: u64,
+    machine_size: u32,
+    triple: String,
+    result: TripleResult,
+    predictions: Vec<i64>,
+}
+
+/// The process-wide simulation cache — see the module docs.
+pub struct SimCache {
+    cells: Mutex<HashMap<CellKey, CachedCell>>,
+    /// Prediction elements still storable before the budget is hit.
+    prediction_budget: Mutex<usize>,
+    persist_dir: Mutex<Option<PathBuf>>,
+    simulated: AtomicU64,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+static GLOBAL: OnceLock<SimCache> = OnceLock::new();
+
+impl SimCache {
+    /// Prediction elements (8 bytes each) the in-memory layer may hold:
+    /// 64M ≈ 512 MB, far above any quick-scale run and a sane ceiling
+    /// for full-scale ones.
+    pub const PREDICTION_BUDGET: usize = 64_000_000;
+
+    fn new() -> Self {
+        Self {
+            cells: Mutex::new(HashMap::new()),
+            prediction_budget: Mutex::new(Self::PREDICTION_BUDGET),
+            persist_dir: Mutex::new(None),
+            simulated: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide instance every experiment routes through.
+    pub fn global() -> &'static SimCache {
+        GLOBAL.get_or_init(SimCache::new)
+    }
+
+    /// Enables (or disables, with `None`) the persistent layer. Created
+    /// lazily on first write; existing entries are picked up on misses.
+    pub fn set_persist_dir(&self, dir: Option<PathBuf>) {
+        *self.persist_dir.lock().expect("cache lock") = dir;
+    }
+
+    /// Drops every in-memory cell and restores the prediction budget
+    /// (the persistent directory, if any, is untouched). Intended for
+    /// tests that must observe *fresh* simulations — e.g. the pool-width
+    /// determinism suites, which would otherwise compare a simulation
+    /// against its own memoized result.
+    pub fn clear_memory(&self) {
+        self.cells.lock().expect("cache lock").clear();
+        *self.prediction_budget.lock().expect("cache lock") = Self::PREDICTION_BUDGET;
+    }
+
+    /// Cumulative accounting since process start.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            simulated: self.simulated.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A non-simulating lookup: the memoized cell if either layer holds
+    /// it, else `None` (counted as a hit only when found). The `--prune`
+    /// sweep uses this to prefer an exact memoized value over an
+    /// early-abort bound.
+    pub fn peek(
+        &self,
+        arena: &JobArena,
+        machine_size: u32,
+        triple: &HeuristicTriple,
+    ) -> Option<CachedCell> {
+        let key = CellKey {
+            fingerprint: arena.fingerprint(),
+            machine_size,
+            triple: triple.name(),
+        };
+        if let Some(cell) = self.cells.lock().expect("cache lock").get(&key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(cell.clone());
+        }
+        let cell = self.load_disk(&key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, cell.clone(), false);
+        Some(cell)
+    }
+
+    /// Runs (or recalls) one cell: `triple` on the `arena` workload at
+    /// `machine_size`. The returned aggregates are byte-identical to a
+    /// fresh simulation's whichever layer serves them.
+    pub fn run_cell(
+        &self,
+        arena: &JobArena,
+        machine_size: u32,
+        triple: &HeuristicTriple,
+    ) -> Result<CachedCell, ScenarioError> {
+        let key = CellKey {
+            fingerprint: arena.fingerprint(),
+            machine_size,
+            triple: triple.name(),
+        };
+        if let Some(cell) = self.cells.lock().expect("cache lock").get(&key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cell.clone());
+        }
+        if let Some(cell) = self.load_disk(&key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.insert(key, cell.clone(), false);
+            return Ok(cell);
+        }
+
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        let sim = Scenario::from_triple(triple)
+            .run_on(arena, predictsim_sim::SimConfig { machine_size })?;
+        let result = TripleResult::from_sim(triple, &sim);
+        let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+        let cell = CachedCell {
+            result,
+            predictions: Some(Arc::new(predictions)),
+        };
+        self.insert(key, cell.clone(), true);
+        Ok(cell)
+    }
+
+    /// Like [`SimCache::run_cell`], but guarantees the predictions are
+    /// present (re-simulating without caching when the budget dropped
+    /// them).
+    pub fn run_cell_full(
+        &self,
+        arena: &JobArena,
+        machine_size: u32,
+        triple: &HeuristicTriple,
+    ) -> Result<(TripleResult, Arc<Vec<i64>>), ScenarioError> {
+        let cell = self.run_cell(arena, machine_size, triple)?;
+        if let Some(predictions) = cell.predictions {
+            return Ok((cell.result, predictions));
+        }
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        let sim = Scenario::from_triple(triple)
+            .run_on(arena, predictsim_sim::SimConfig { machine_size })?;
+        let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+        Ok((cell.result, Arc::new(predictions)))
+    }
+
+    /// Records a cell that was simulated outside [`SimCache::run_cell`]
+    /// (the prune sweep's fully completed, non-aborted phase-2 runs):
+    /// counts it as simulated, memoizes it, and persists it like any
+    /// run_cell miss. Never call this with early-abort bounds — only
+    /// exact results belong in the cache.
+    pub(crate) fn record_simulated(
+        &self,
+        arena: &JobArena,
+        machine_size: u32,
+        triple: &HeuristicTriple,
+        result: TripleResult,
+        predictions: Vec<i64>,
+    ) {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        let key = CellKey {
+            fingerprint: arena.fingerprint(),
+            machine_size,
+            triple: triple.name(),
+        };
+        let cell = CachedCell {
+            result,
+            predictions: Some(Arc::new(predictions)),
+        };
+        self.insert(key, cell, true);
+    }
+
+    fn insert(&self, key: CellKey, mut cell: CachedCell, persist: bool) {
+        // Persist first: the disk layer has no budget, and dropping the
+        // predictions before writing would silently break the
+        // "repeated --cache run simulates zero cells" contract once the
+        // in-memory budget is exhausted (full-scale runs).
+        if persist {
+            self.store_disk(&key, &cell);
+        }
+        if let Some(predictions) = &cell.predictions {
+            let mut budget = self.prediction_budget.lock().expect("cache lock");
+            if *budget >= predictions.len() {
+                *budget -= predictions.len();
+            } else {
+                cell.predictions = None;
+            }
+        }
+        self.cells.lock().expect("cache lock").insert(key, cell);
+    }
+
+    /// Stable file name for a key: [`crate::source::fnv1a64`] over the
+    /// key's fields.
+    fn file_of(dir: &Path, key: &CellKey) -> PathBuf {
+        let hash = crate::source::fnv1a64(
+            key.fingerprint
+                .to_le_bytes()
+                .into_iter()
+                .chain(key.machine_size.to_le_bytes())
+                .chain(key.triple.bytes()),
+        );
+        dir.join(format!("cell-{hash:016x}.json"))
+    }
+
+    fn load_disk(&self, key: &CellKey) -> Option<CachedCell> {
+        let dir = self.persist_dir.lock().expect("cache lock").clone()?;
+        let text = std::fs::read_to_string(Self::file_of(&dir, key)).ok()?;
+        let disk: DiskCell = serde_json::from_str(&text).ok()?;
+        // Verify the full key: a file-name hash collision or a stale
+        // entry must never serve the wrong cell.
+        if disk.fingerprint != key.fingerprint
+            || disk.machine_size != key.machine_size
+            || disk.triple != key.triple
+        {
+            return None;
+        }
+        Some(CachedCell {
+            result: disk.result,
+            predictions: Some(Arc::new(disk.predictions)),
+        })
+    }
+
+    fn store_disk(&self, key: &CellKey, cell: &CachedCell) {
+        let Some(dir) = self.persist_dir.lock().expect("cache lock").clone() else {
+            return;
+        };
+        let Some(predictions) = &cell.predictions else {
+            return; // only complete cells are persisted
+        };
+        let disk = DiskCell {
+            fingerprint: key.fingerprint,
+            machine_size: key.machine_size,
+            triple: key.triple.clone(),
+            result: cell.result.clone(),
+            predictions: predictions.as_ref().clone(),
+        };
+        let path = Self::file_of(&dir, key);
+        // Persistence is best-effort: a read-only or full disk must not
+        // fail the experiment, only forgo the cache.
+        let _ = std::fs::create_dir_all(&dir);
+        if let Ok(json) = serde_json::to_string(&disk) {
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, json).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Variant;
+    use predictsim_workload::{generate, WorkloadSpec};
+
+    fn tiny_arena(seed: u64) -> (JobArena, u32) {
+        let mut spec = WorkloadSpec::toy();
+        spec.jobs = 200;
+        spec.duration = 2 * 86_400;
+        let w = generate(&spec, seed);
+        (JobArena::new(w.jobs), w.machine_size)
+    }
+
+    /// A private cache instance (the global one is shared across tests).
+    fn private() -> SimCache {
+        SimCache::new()
+    }
+
+    #[test]
+    fn second_lookup_is_a_memory_hit_with_identical_payload() {
+        let cache = private();
+        let (arena, m) = tiny_arena(3);
+        let triple = HeuristicTriple::easy_plus_plus();
+        let fresh = cache.run_cell(&arena, m, &triple).unwrap();
+        let again = cache.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(fresh.result, again.result);
+        assert_eq!(fresh.predictions.as_deref(), again.predictions.as_deref());
+        let stats = cache.stats();
+        assert_eq!(stats.simulated, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.disk_hits, 0);
+    }
+
+    #[test]
+    fn cached_aggregates_match_a_direct_simulation() {
+        let cache = private();
+        let (arena, m) = tiny_arena(4);
+        let triple = HeuristicTriple::standard_easy();
+        let cell = cache.run_cell(&arena, m, &triple).unwrap();
+        let sim = Scenario::from_triple(&triple)
+            .run_on(&arena, predictsim_sim::SimConfig { machine_size: m })
+            .unwrap();
+        assert_eq!(cell.result, TripleResult::from_sim(&triple, &sim));
+        let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+        assert_eq!(
+            cell.predictions.as_deref().map(|p| p.as_slice()),
+            Some(predictions.as_slice())
+        );
+    }
+
+    #[test]
+    fn distinct_workloads_and_triples_do_not_collide() {
+        let cache = private();
+        let (a, ma) = tiny_arena(5);
+        let (b, mb) = tiny_arena(6);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let easy = HeuristicTriple::standard_easy();
+        let clair = HeuristicTriple::clairvoyant(Variant::Easy);
+        let cells = [
+            cache.run_cell(&a, ma, &easy).unwrap(),
+            cache.run_cell(&b, mb, &easy).unwrap(),
+            cache.run_cell(&a, ma, &clair).unwrap(),
+        ];
+        assert_eq!(cache.stats().simulated, 3, "three distinct cells");
+        assert_ne!(cells[0].result.ave_bsld, cells[2].result.ave_bsld);
+    }
+
+    #[test]
+    fn persistent_layer_round_trips_and_verifies_keys() {
+        let dir =
+            std::env::temp_dir().join(format!("predictsim-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (arena, m) = tiny_arena(7);
+        let triple = HeuristicTriple::easy_plus_plus();
+
+        let writer = private();
+        writer.set_persist_dir(Some(dir.clone()));
+        let fresh = writer.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(writer.stats().simulated, 1);
+
+        // A new process (modeled by a new cache instance) reads it back.
+        let reader = private();
+        reader.set_persist_dir(Some(dir.clone()));
+        let recalled = reader.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(reader.stats().simulated, 0, "disk must serve the cell");
+        assert_eq!(reader.stats().disk_hits, 1);
+        assert_eq!(recalled.result, fresh.result);
+        assert_eq!(
+            recalled.predictions.as_deref(),
+            fresh.predictions.as_deref()
+        );
+
+        // A different workload misses (and must not be served the file).
+        let (other, mo) = tiny_arena(8);
+        reader.run_cell(&other, mo, &triple).unwrap();
+        assert_eq!(reader.stats().simulated, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_budget_still_persists_full_cells_to_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "predictsim-cache-budget-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (arena, m) = tiny_arena(11);
+        let triple = HeuristicTriple::standard_easy();
+
+        let writer = private();
+        writer.set_persist_dir(Some(dir.clone()));
+        *writer.prediction_budget.lock().unwrap() = 0; // memory budget gone
+        let fresh = writer.run_cell(&arena, m, &triple).unwrap();
+
+        // The disk layer has no budget: a fresh process must still be
+        // served the complete cell without simulating.
+        let reader = private();
+        reader.set_persist_dir(Some(dir.clone()));
+        let recalled = reader.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(reader.stats().simulated, 0);
+        assert_eq!(reader.stats().disk_hits, 1);
+        assert_eq!(recalled.result, fresh.result);
+        assert_eq!(
+            recalled.predictions.as_deref(),
+            fresh.predictions.as_deref()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_simulated_memoizes_persists_and_counts() {
+        let dir = std::env::temp_dir().join(format!(
+            "predictsim-cache-record-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (arena, m) = tiny_arena(12);
+        let triple = HeuristicTriple::easy_plus_plus();
+
+        // The value an external driver (the prune sweep) simulated.
+        let sim = Scenario::from_triple(&triple)
+            .run_on(&arena, predictsim_sim::SimConfig { machine_size: m })
+            .unwrap();
+        let result = TripleResult::from_sim(&triple, &sim);
+        let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+
+        let cache = private();
+        cache.set_persist_dir(Some(dir.clone()));
+        cache.record_simulated(&arena, m, &triple, result.clone(), predictions.clone());
+        assert_eq!(cache.stats().simulated, 1, "recorded runs count as work");
+
+        // Memoized for this process...
+        let peeked = cache.peek(&arena, m, &triple).expect("cell memoized");
+        assert_eq!(peeked.result, result);
+        // ...and persisted for the next one.
+        let reader = private();
+        reader.set_persist_dir(Some(dir.clone()));
+        let recalled = reader.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(reader.stats().simulated, 0);
+        assert_eq!(recalled.result, result);
+        assert_eq!(
+            recalled.predictions.as_deref().map(|p| p.as_slice()),
+            Some(predictions.as_slice())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_budget_drops_predictions_but_keeps_aggregates() {
+        let cache = private();
+        *cache.prediction_budget.lock().unwrap() = 10; // tiny budget
+        let (arena, m) = tiny_arena(9);
+        let triple = HeuristicTriple::standard_easy();
+        let cell = cache.run_cell(&arena, m, &triple).unwrap();
+        assert!(cell.predictions.is_some(), "caller still gets them");
+        let again = cache.run_cell(&arena, m, &triple).unwrap();
+        assert!(again.predictions.is_none(), "budget dropped the vector");
+        assert_eq!(again.result, cell.result);
+        // run_cell_full re-simulates to recover them.
+        let (result, predictions) = cache.run_cell_full(&arena, m, &triple).unwrap();
+        assert_eq!(result, cell.result);
+        assert_eq!(
+            Some(predictions.as_slice()),
+            cell.predictions.as_deref().map(|p| p.as_slice())
+        );
+    }
+}

@@ -8,14 +8,12 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use predictsim_core::{mae_of_outcomes, mean_eloss_of_outcomes};
-use predictsim_metrics::bsld::{fraction_bsld_above, max_bsld};
 use predictsim_metrics::DEFAULT_TAU;
-use predictsim_sim::{Job, SimConfig, SimResult};
+use predictsim_sim::SimResult;
 use predictsim_workload::GeneratedWorkload;
 
-use crate::scenario::Scenario;
-use crate::source::{LoadedWorkload, SourceError, WorkloadSource};
+use crate::cache::SimCache;
+use crate::source::{JobArena, LoadedWorkload, SourceError, WorkloadSource};
 use crate::triple::HeuristicTriple;
 
 /// Aggregated metrics of one triple on one workload.
@@ -49,22 +47,63 @@ pub struct TripleResult {
 
 impl TripleResult {
     /// Builds the aggregate from a finished simulation.
+    ///
+    /// Every metric is accumulated in one pass over the outcomes, in job
+    /// order — the same element expressions and accumulation order as
+    /// the per-metric functions (`SimResult::ave_bsld`,
+    /// `predictsim_metrics::bsld::max_bsld`/`fraction_bsld_above`,
+    /// `SimResult::mean_wait`, `SimResult::utilization`,
+    /// `predictsim_core::mae_of_outcomes`/`mean_eloss_of_outcomes`), so
+    /// the values are bit-identical to calling them individually without
+    /// re-walking a campaign cell's outcome vector eight times.
     pub fn from_sim(triple: &HeuristicTriple, result: &SimResult) -> Self {
-        let records: Vec<predictsim_metrics::BsldRecord> =
-            result.outcomes.iter().map(|o| o.bsld_record()).collect();
+        let n = result.outcomes.len();
+        let mut bsld_sum = 0.0f64;
+        let mut bsld_max = 0.0f64;
+        let mut extreme = 0usize;
+        let mut wait_sum = 0.0f64;
+        let mut busy = 0.0f64;
+        let mut first_submit = i64::MAX;
+        let mut last_end = i64::MIN;
+        let mut corrections = 0u64;
+        let mut mae_sum = 0.0f64;
+        let mut eloss_sum = 0.0f64;
+        for o in &result.outcomes {
+            let bsld = o.bsld_record().bsld(DEFAULT_TAU);
+            bsld_sum += bsld;
+            bsld_max = f64::max(bsld_max, bsld);
+            if bsld > 1000.0 {
+                extreme += 1;
+            }
+            wait_sum += o.wait() as f64;
+            busy += o.run as f64 * o.procs as f64;
+            first_submit = first_submit.min(o.submit.0);
+            last_end = last_end.max(o.end.0);
+            corrections += o.corrections as u64;
+            mae_sum += (o.initial_prediction as f64 - o.run as f64).abs();
+            eloss_sum +=
+                predictsim_core::eloss(o.initial_prediction as f64, o.run as f64, o.procs as f64);
+        }
+        let mean = |sum: f64| if n == 0 { 0.0 } else { sum / n as f64 };
+        let utilization = if n == 0 {
+            0.0
+        } else {
+            let span = (last_end - first_submit).max(1) as f64;
+            busy / (span * result.machine_size as f64)
+        };
         Self {
             triple: triple.name(),
             predictor: triple.prediction.name(),
             correction: triple.correction.map(|c| c.name().to_string()),
             variant: triple.variant.name().to_string(),
-            ave_bsld: result.ave_bsld(),
-            max_bsld: max_bsld(&records, DEFAULT_TAU),
-            extreme_fraction: fraction_bsld_above(&records, DEFAULT_TAU, 1000.0),
-            mean_wait: result.mean_wait(),
-            utilization: result.utilization(),
-            corrections: result.total_corrections(),
-            mae: mae_of_outcomes(&result.outcomes),
-            mean_eloss: mean_eloss_of_outcomes(&result.outcomes),
+            ave_bsld: mean(bsld_sum),
+            max_bsld: bsld_max,
+            extreme_fraction: mean(extreme as f64),
+            mean_wait: mean(wait_sum),
+            utilization,
+            corrections,
+            mae: mean(mae_sum),
+            mean_eloss: mean(eloss_sum),
         }
     }
 }
@@ -89,20 +128,22 @@ impl CampaignResult {
     }
 
     /// The best (lowest AVEbsld) result, optionally restricted by a
-    /// predicate.
+    /// predicate. Uses the IEEE total order, so a NaN produced by a
+    /// degenerate campaign sorts to the extreme instead of panicking.
     pub fn best_where<F: Fn(&TripleResult) -> bool>(&self, pred: F) -> Option<&TripleResult> {
         self.results
             .iter()
             .filter(|r| pred(r))
-            .min_by(|a, b| a.ave_bsld.partial_cmp(&b.ave_bsld).expect("finite bsld"))
+            .min_by(|a, b| a.ave_bsld.total_cmp(&b.ave_bsld))
     }
 
-    /// The worst (highest AVEbsld) result under a predicate.
+    /// The worst (highest AVEbsld) result under a predicate (IEEE total
+    /// order, like [`CampaignResult::best_where`]).
     pub fn worst_where<F: Fn(&TripleResult) -> bool>(&self, pred: F) -> Option<&TripleResult> {
         self.results
             .iter()
             .filter(|r| pred(r))
-            .max_by(|a, b| a.ave_bsld.partial_cmp(&b.ave_bsld).expect("finite bsld"))
+            .max_by(|a, b| a.ave_bsld.total_cmp(&b.ave_bsld))
     }
 
     /// AVEbsld of a named triple; panics if absent (campaign bug).
@@ -113,28 +154,30 @@ impl CampaignResult {
     }
 }
 
-/// Runs `triples` on a shared job vector, in parallel, through the
-/// [`Scenario`] API (one workload-less scenario per triple).
-fn run_campaign_jobs(
+/// Runs `triples` on a shared workload arena, in parallel, through the
+/// process-wide [`SimCache`] (cells already simulated by *any*
+/// experiment this process — or found in the persistent `--cache`
+/// layer — are recalled instead of re-simulated).
+fn run_campaign_arena(
     log: &str,
     machine_size: u32,
-    jobs: &[Job],
+    arena: &JobArena,
     triples: &[HeuristicTriple],
 ) -> CampaignResult {
-    let config = SimConfig { machine_size };
+    let cache = SimCache::global();
     let results: Vec<TripleResult> = triples
         .par_iter()
         .map(|triple| {
-            let sim = Scenario::from_triple(triple)
-                .run_on(jobs, config)
-                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
-            TripleResult::from_sim(triple, &sim)
+            cache
+                .run_cell(arena, machine_size, triple)
+                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()))
+                .result
         })
         .collect();
     CampaignResult {
         log: log.to_string(),
         machine_size,
-        jobs: jobs.len(),
+        jobs: arena.len(),
         results,
     }
 }
@@ -146,12 +189,7 @@ fn run_campaign_jobs(
 /// Panics if any simulation rejects the workload — the generator's output
 /// is validated, so a failure here is a bug, not an input condition.
 pub fn run_campaign(workload: &GeneratedWorkload, triples: &[HeuristicTriple]) -> CampaignResult {
-    run_campaign_jobs(
-        &workload.name,
-        workload.machine_size,
-        &workload.jobs,
-        triples,
-    )
+    run_campaign_loaded(&workload.into(), triples)
 }
 
 /// Runs `triples` on an already loaded workload (synthetic or SWF — see
@@ -160,7 +198,7 @@ pub fn run_campaign_loaded(
     workload: &LoadedWorkload,
     triples: &[HeuristicTriple],
 ) -> CampaignResult {
-    run_campaign_jobs(
+    run_campaign_arena(
         &workload.name,
         workload.machine_size,
         &workload.jobs,
@@ -176,6 +214,257 @@ pub fn run_campaign_source(
 ) -> Result<CampaignResult, SourceError> {
     let loaded = source.load()?;
     Ok(run_campaign_loaded(&loaded, triples))
+}
+
+/// A campaign run in the opt-in `--prune` sweep mode: dominated triples
+/// were early-aborted, so their [`TripleResult`]s carry a *lower bound*
+/// on AVEbsld (and prefix values for the other metrics) instead of the
+/// exact numbers. The winner is preserved exactly — see
+/// [`run_campaign_pruned`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrunedCampaign {
+    /// The campaign, with pruned cells holding lower-bound metrics.
+    pub campaign: CampaignResult,
+    /// Names of the triples that were early-aborted, in campaign order.
+    pub pruned: Vec<String>,
+    /// The AVEbsld threshold pruning compared against (the best
+    /// *eligible* exempt baseline).
+    pub threshold: f64,
+}
+
+/// Observer driving the §6.3.1-style sweep abort: maintains the same
+/// aggregates [`TripleResult::from_sim`] computes, plus the running
+/// *lower bound* on the final AVEbsld — finished jobs contribute their
+/// exact bounded slowdown, unfinished ones at least 1.0 each — and asks
+/// the engine to stop as soon as that bound exceeds the threshold.
+struct PruneObserver {
+    n_total: usize,
+    threshold: f64,
+    finished: usize,
+    bsld_sum: f64,
+    bsld_max: f64,
+    extreme: usize,
+    wait_sum: f64,
+    busy: f64,
+    first_submit: i64,
+    last_end: i64,
+    corrections: u64,
+    mae_sum: f64,
+    eloss_sum: f64,
+}
+
+impl PruneObserver {
+    fn new(n_total: usize, threshold: f64) -> Self {
+        Self {
+            n_total,
+            threshold,
+            finished: 0,
+            bsld_sum: 0.0,
+            bsld_max: 0.0,
+            extreme: 0,
+            wait_sum: 0.0,
+            busy: 0.0,
+            first_submit: i64::MAX,
+            last_end: i64::MIN,
+            corrections: 0,
+            mae_sum: 0.0,
+            eloss_sum: 0.0,
+        }
+    }
+
+    /// The certain lower bound on the final AVEbsld given the finished
+    /// prefix (every job's bounded slowdown is ≥ 1).
+    fn lower_bound(&self) -> f64 {
+        (self.bsld_sum + (self.n_total - self.finished) as f64) / self.n_total as f64
+    }
+
+    /// The lower-bound [`TripleResult`] recorded for an aborted triple.
+    fn partial_result(&self, triple: &HeuristicTriple, machine_size: u32) -> TripleResult {
+        let mean = |sum: f64| {
+            if self.finished == 0 {
+                0.0
+            } else {
+                sum / self.finished as f64
+            }
+        };
+        let utilization = if self.finished == 0 {
+            0.0
+        } else {
+            let span = (self.last_end - self.first_submit).max(1) as f64;
+            self.busy / (span * machine_size as f64)
+        };
+        TripleResult {
+            triple: triple.name(),
+            predictor: triple.prediction.name(),
+            correction: triple.correction.map(|c| c.name().to_string()),
+            variant: triple.variant.name().to_string(),
+            // The certain lower bound, NOT the exact value: by
+            // construction it exceeds the threshold (hence every exempt
+            // baseline), so a pruned cell can never displace the winner.
+            ave_bsld: self.lower_bound(),
+            max_bsld: self.bsld_max,
+            extreme_fraction: self.extreme as f64 / self.n_total as f64,
+            mean_wait: mean(self.wait_sum),
+            utilization,
+            corrections: self.corrections,
+            mae: mean(self.mae_sum),
+            mean_eloss: mean(self.eloss_sum),
+        }
+    }
+}
+
+impl predictsim_sim::SimObserver for PruneObserver {
+    fn on_event(&mut self, event: &predictsim_sim::SimEvent<'_>) {
+        #[allow(clippy::single_match)]
+        match event {
+            predictsim_sim::SimEvent::Finished { outcome: o } => {
+                let bsld = o.bsld_record().bsld(DEFAULT_TAU);
+                self.finished += 1;
+                self.bsld_sum += bsld;
+                self.bsld_max = f64::max(self.bsld_max, bsld);
+                if bsld > 1000.0 {
+                    self.extreme += 1;
+                }
+                self.wait_sum += o.wait() as f64;
+                self.busy += o.run as f64 * o.procs as f64;
+                self.first_submit = self.first_submit.min(o.submit.0);
+                self.last_end = self.last_end.max(o.end.0);
+                self.corrections += o.corrections as u64;
+                self.mae_sum += (o.initial_prediction as f64 - o.run as f64).abs();
+                self.eloss_sum += predictsim_core::eloss(
+                    o.initial_prediction as f64,
+                    o.run as f64,
+                    o.procs as f64,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn keep_running(&self) -> bool {
+        self.lower_bound() <= self.threshold
+    }
+}
+
+/// True for the triples `--prune` never aborts: the clairvoyant
+/// references (tables need them exact) and the golden-path baselines
+/// (standard EASY, EASY++, the paper's winner) whose exact values every
+/// table, figure and pin reads.
+pub fn prune_exempt(triple: &HeuristicTriple) -> bool {
+    matches!(
+        triple.prediction,
+        crate::triple::PredictionTechnique::Clairvoyant
+    ) || *triple == HeuristicTriple::standard_easy()
+        || *triple == HeuristicTriple::easy_plus_plus()
+        || *triple == HeuristicTriple::paper_winner()
+}
+
+/// Runs `triples` on `workload` with dominated-triple pruning — the
+/// opt-in `--prune` sweep mode.
+///
+/// Two deterministic phases. Phase 1 simulates the exempt triples
+/// ([`prune_exempt`]) exactly, through the cache, and fixes the pruning
+/// threshold as the best AVEbsld among the *eligible* (non-clairvoyant)
+/// exempt baselines — a fixed threshold, so pruning decisions are
+/// independent of worker count and scheduling order, unlike racing a
+/// shared "best so far". Phase 2 simulates the rest, aborting any
+/// triple whose running prefix-AVEbsld lower bound exceeds the
+/// threshold; aborted cells record that lower bound.
+///
+/// The winner is preserved exactly: a pruned triple's true AVEbsld is ≥
+/// its recorded lower bound > threshold ≥ the winner's value, so
+/// neither per-log ordering against the winner nor the cross-validated
+/// selection can change. Aborted cells are never written to the
+/// [`SimCache`] (their metrics are bounds, not values).
+pub fn run_campaign_pruned(
+    workload: &LoadedWorkload,
+    triples: &[HeuristicTriple],
+) -> PrunedCampaign {
+    let cache = SimCache::global();
+    let machine_size = workload.machine_size;
+    let arena = &workload.jobs;
+
+    // Phase 1: exact exempt cells fix the threshold.
+    let exempt: Vec<&HeuristicTriple> = triples.iter().filter(|t| prune_exempt(t)).collect();
+    let exempt_results: Vec<TripleResult> = exempt
+        .par_iter()
+        .map(|triple| {
+            cache
+                .run_cell(arena, machine_size, triple)
+                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()))
+                .result
+        })
+        .collect();
+    let threshold = exempt_results
+        .iter()
+        .filter(|r| r.predictor != "clairvoyant")
+        .map(|r| r.ave_bsld)
+        .fold(f64::INFINITY, f64::min);
+    let exempt_by_name: std::collections::HashMap<&str, &TripleResult> = exempt_results
+        .iter()
+        .map(|r| (r.triple.as_str(), r))
+        .collect();
+
+    // Phase 2: everything else, with the early-abort observer.
+    let results: Vec<(TripleResult, bool)> = triples
+        .par_iter()
+        .map(|triple| {
+            if let Some(result) = exempt_by_name.get(triple.name().as_str()) {
+                return ((*result).clone(), false);
+            }
+            // An exact memoized value beats an early-abort bound.
+            if let Some(cell) = cache.peek(arena, machine_size, triple) {
+                return (cell.result, false);
+            }
+            let mut observer = PruneObserver::new(arena.len(), threshold);
+            let outcome = crate::scenario::run_triple_with_scratch(
+                triple,
+                arena,
+                predictsim_sim::SimConfig { machine_size },
+                &mut observer,
+            );
+            match outcome {
+                Ok(sim) => {
+                    // A fully completed run is exact — memoize it like
+                    // any cache miss, so cross-experiment dedup, the
+                    // persistent layer and the cache accounting keep
+                    // working under `--prune` (only aborted cells, whose
+                    // metrics are bounds, stay out of the cache).
+                    let result = TripleResult::from_sim(triple, &sim);
+                    let predictions: Vec<i64> =
+                        sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+                    cache.record_simulated(
+                        arena,
+                        machine_size,
+                        triple,
+                        result.clone(),
+                        predictions,
+                    );
+                    (result, false)
+                }
+                Err(predictsim_sim::SimError::Aborted { .. }) => {
+                    (observer.partial_result(triple, machine_size), true)
+                }
+                Err(e) => panic!("triple {} failed: {e}", triple.name()),
+            }
+        })
+        .collect();
+
+    let pruned = results
+        .iter()
+        .filter(|(_, aborted)| *aborted)
+        .map(|(r, _)| r.triple.clone())
+        .collect();
+    PrunedCampaign {
+        campaign: CampaignResult {
+            log: workload.name.clone(),
+            machine_size,
+            jobs: arena.len(),
+            results: results.into_iter().map(|(r, _)| r).collect(),
+        },
+        pruned,
+        threshold,
+    }
 }
 
 #[cfg(test)]

@@ -268,6 +268,41 @@ mod tests {
         assert_eq!(select_triple(&campaigns, 0), "A");
     }
 
+    /// The `exclude == 0` branch: candidate triples are enumerated from
+    /// the *second* campaign when the first is held out (enumerating
+    /// from the held-out campaign itself would consider triples that
+    /// never ran on the evaluation logs).
+    #[test]
+    fn holding_out_the_first_campaign_enumerates_from_the_second() {
+        let mut campaigns = three_campaigns();
+        // A triple that exists ONLY in the held-out first campaign, with
+        // an unbeatable score: if `select_triple(.., 0)` enumerated
+        // candidates from campaigns[0], it would either pick this (a
+        // triple with no results on the evaluation logs) or die on the
+        // missing-cell lookup.
+        campaigns[0]
+            .results
+            .push(result("only-in-log1", "ml", 0.001));
+        assert_eq!(select_triple(&campaigns, 0), "A");
+
+        // Symmetric guard: a triple present on every log *except* a
+        // non-held-out one is skipped as incomplete rather than scored
+        // on partial data.
+        campaigns[0].results.push(result("partial", "ml", 0.001));
+        campaigns[1].results.push(result("partial", "ml", 0.001));
+        assert_eq!(
+            select_triple(&campaigns, 0),
+            "A",
+            "a triple missing from log3 must not win on partial sums"
+        );
+
+        // With a single campaign, exclude == 0 must still enumerate from
+        // that campaign (there is no second one) — the `campaigns.len()
+        // > 1` half of the branch.
+        let solo = vec![campaign("solo", &[("A", "ml", 5.0), ("B", "ml", 3.0)])];
+        assert_eq!(select_triple(&solo, 1), "B");
+    }
+
     #[test]
     fn cross_validation_rows_and_reductions() {
         let outcome = cross_validate(&three_campaigns());

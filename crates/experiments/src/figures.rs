@@ -4,16 +4,17 @@
 //! scatter points); the repro binary also renders coarse ASCII plots so
 //! the shapes can be eyeballed in a terminal.
 
+use std::sync::Arc;
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use predictsim_metrics::pearson::pairwise_correlation_summary;
 use predictsim_metrics::Ecdf;
-use predictsim_sim::{SimConfig, SimResult};
-use predictsim_workload::GeneratedWorkload;
 
+use crate::cache::SimCache;
 use crate::campaign::CampaignResult;
-use crate::scenario::Scenario;
+use crate::source::LoadedWorkload;
 use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
 
 use predictsim_core::loss::AsymmetricLoss;
@@ -129,25 +130,24 @@ pub struct Fig45 {
 
 const HOUR_F: f64 = 3600.0;
 
+/// Runs (or recalls) one figure technique: the per-job initial
+/// predictions under `prediction` + Incremental + EASY-SJBF. Half of
+/// the Figure 4/5 techniques are campaign cells, which the process-wide
+/// [`SimCache`] dedups against a preceding campaign.
 fn run_technique(
-    workload: &GeneratedWorkload,
+    workload: &LoadedWorkload,
     label: &str,
     prediction: PredictionTechnique,
-) -> (String, SimResult) {
+) -> (String, Arc<Vec<i64>>) {
     let triple = HeuristicTriple {
         prediction,
         correction: Some(CorrectionKind::Incremental),
         variant: Variant::EasySjbf,
     };
-    let cfg = SimConfig {
-        machine_size: workload.machine_size,
-    };
-    (
-        label.to_string(),
-        Scenario::from_triple(&triple)
-            .run_on(&workload.jobs, cfg)
-            .expect("figure simulation failed"),
-    )
+    let (_, predictions) = SimCache::global()
+        .run_cell_full(&workload.jobs, workload.machine_size, &triple)
+        .expect("figure simulation failed");
+    (label.to_string(), predictions)
 }
 
 /// Computes the Figure 4 and Figure 5 series on `workload` with
@@ -158,7 +158,7 @@ fn run_technique(
 /// AVE₂; Figure 5 adds the actual running times as the reference
 /// distribution. The four simulations are independent and run in
 /// parallel (order-preserving).
-pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
+pub fn fig4_fig5(workload: &LoadedWorkload, points: usize) -> Fig45 {
     let techniques = [
         (
             "E-Loss Regression",
@@ -174,19 +174,24 @@ pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
         ),
         ("AVE2(k)", PredictionTechnique::Ave2),
     ];
-    let runs: Vec<(String, SimResult)> = techniques
+    let runs: Vec<(String, Arc<Vec<i64>>)> = techniques
         .into_par_iter()
         .map(|(label, prediction)| run_technique(workload, label, prediction))
         .collect();
 
+    // The granted running time per job (what a `JobOutcome` records as
+    // `run`), by dense job id — jobs are shared through the arena, so
+    // the per-cell payload only needs the predictions.
+    let granted: Vec<i64> = workload.jobs.iter().map(|j| j.granted_run()).collect();
+
     // Figure 4: signed prediction error in hours, over [-24h, +24h].
     let error_series = runs
         .iter()
-        .map(|(label, sim)| {
-            let errors: Vec<f64> = sim
-                .outcomes
+        .map(|(label, predictions)| {
+            let errors: Vec<f64> = predictions
                 .iter()
-                .map(|o| (o.initial_prediction - o.run) as f64 / HOUR_F)
+                .zip(&granted)
+                .map(|(&p, &run)| (p - run) as f64 / HOUR_F)
                 .collect();
             EcdfSeries {
                 label: label.clone(),
@@ -199,24 +204,15 @@ pub fn fig4_fig5(workload: &GeneratedWorkload, points: usize) -> Fig45 {
     // running times as reference.
     let mut value_series: Vec<EcdfSeries> = runs
         .iter()
-        .map(|(label, sim)| {
-            let preds: Vec<f64> = sim
-                .outcomes
-                .iter()
-                .map(|o| o.initial_prediction as f64 / HOUR_F)
-                .collect();
+        .map(|(label, predictions)| {
+            let preds: Vec<f64> = predictions.iter().map(|&p| p as f64 / HOUR_F).collect();
             EcdfSeries {
                 label: label.clone(),
                 curve: Ecdf::new(preds).curve(0.0, 24.0, points),
             }
         })
         .collect();
-    let actual: Vec<f64> = runs[0]
-        .1
-        .outcomes
-        .iter()
-        .map(|o| o.run as f64 / HOUR_F)
-        .collect();
+    let actual: Vec<f64> = granted.iter().map(|&run| run as f64 / HOUR_F).collect();
     value_series.insert(
         0,
         EcdfSeries {
@@ -270,7 +266,7 @@ pub fn render_fig3(fig: &Fig3) -> String {
         }
         let best = pts
             .iter()
-            .min_by(|a, b| (a.x + a.y).partial_cmp(&(b.x + b.y)).expect("finite"))
+            .min_by(|a, b| (a.x + a.y).total_cmp(&(b.x + b.y)))
             .expect("non-empty");
         out.push_str(&format!(
             "  {:<12} n={:<3} best: x={:.1} y={:.1} ({})\n",
@@ -292,16 +288,16 @@ pub fn render_fig3(fig: &Fig3) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::run_campaign;
+    use crate::campaign::run_campaign_loaded;
     use crate::triple::reference_triples;
     use predictsim_workload::{generate, WorkloadSpec};
 
-    fn tiny(name: &str, seed: u64) -> GeneratedWorkload {
+    fn tiny(name: &str, seed: u64) -> LoadedWorkload {
         let mut spec = WorkloadSpec::toy();
         spec.name = name.into();
         spec.jobs = 300;
         spec.duration = 3 * 86_400;
-        generate(&spec, seed)
+        generate(&spec, seed).into()
     }
 
     fn small_triples() -> Vec<HeuristicTriple> {
@@ -319,7 +315,10 @@ mod tests {
         let wa = tiny("LogA", 1);
         let wb = tiny("LogB", 2);
         let triples = small_triples();
-        let campaigns = vec![run_campaign(&wa, &triples), run_campaign(&wb, &triples)];
+        let campaigns = vec![
+            run_campaign_loaded(&wa, &triples),
+            run_campaign_loaded(&wb, &triples),
+        ];
         let fig = fig3(&campaigns, "LogA", "LogB");
         assert_eq!(fig.points.len(), triples.len());
         assert!(fig.pearson_mean_min_max.is_some());

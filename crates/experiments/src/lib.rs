@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache;
 pub mod campaign;
 pub mod context;
 pub mod cv;
@@ -49,6 +50,7 @@ pub mod tables;
 pub mod timing;
 pub mod triple;
 
+pub use cache::{CacheStats, CachedCell, SimCache};
 pub use campaign::{run_campaign, CampaignResult, TripleResult};
 pub use context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
 pub use cv::{cross_validate, CvOutcome, CvRow};
@@ -57,7 +59,9 @@ pub use registry::{
     PolicyEntry, RegistryError,
 };
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
-pub use source::{LoadedWorkload, SourceError, SwfSource, SyntheticSource, WorkloadSource};
+pub use source::{
+    JobArena, LoadedWorkload, SourceError, SwfSource, SyntheticSource, WorkloadSource,
+};
 pub use triple::{
     campaign_triples, reference_triples, CorrectionKind, HeuristicTriple, PredictionTechnique,
     Variant,

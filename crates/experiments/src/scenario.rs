@@ -31,12 +31,102 @@
 //! the figures, the ablations, and the `repro` binary — runs through
 //! this API; `HeuristicTriple::run` is a thin veneer over it.
 
+use std::cell::RefCell;
+
 use predictsim_sim::observe::{NullObserver, SimObserver};
-use predictsim_sim::{simulate_observed, Job, SimConfig, SimError, SimResult};
+use predictsim_sim::scheduler::Scheduler;
+use predictsim_sim::{simulate_in, ArenaStats, Job, SimArena, SimConfig, SimError, SimResult};
 
 use crate::registry::RegistryError;
 use crate::source::{LoadedWorkload, SourceError, WorkloadSource};
 use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
+
+/// Per-worker scratch kept across the simulations a pool worker
+/// executes: the engine's [`SimArena`] plus one reusable scheduler
+/// instance per variant (schedulers decide each pass from the context
+/// alone — see [`Scheduler::schedule_into`] — so reusing an instance
+/// reuses its warm scratch buffers without carrying any decision state
+/// between runs). Predictors and corrections hold *learning* state and
+/// are always rebuilt fresh.
+#[derive(Default)]
+struct WorkerScratch {
+    sim: SimArena,
+    schedulers: Vec<(Variant, Box<dyn Scheduler + Send>)>,
+}
+
+/// The cached scheduler instance for `variant`, building (and caching)
+/// one on first use. A free function over the vector so callers can
+/// split-borrow the arena alongside it.
+fn scheduler_for(
+    schedulers: &mut Vec<(Variant, Box<dyn Scheduler + Send>)>,
+    variant: Variant,
+) -> &mut (dyn Scheduler + Send) {
+    let index = match schedulers.iter().position(|(v, _)| *v == variant) {
+        Some(i) => i,
+        None => {
+            schedulers.push((variant, variant.build()));
+            schedulers.len() - 1
+        }
+    };
+    schedulers[index].1.as_mut()
+}
+
+thread_local! {
+    /// One [`WorkerScratch`] per OS thread. Pool workers process many
+    /// simulations per bulk operation (and with `--threads 1`, the whole
+    /// pipeline runs on one thread), so everything after the first run
+    /// on each thread executes against warm buffers.
+    static WORKER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+/// Runs `triple` on `jobs` against the calling thread's
+/// [`WorkerScratch`] with an explicit observer — the shared engine-call
+/// seam behind [`Scenario::run_on`] and the `--prune` sweep (which
+/// needs to read its observer back after an abort, so it cannot hand it
+/// to a `Scenario`).
+pub(crate) fn run_triple_with_scratch(
+    triple: &HeuristicTriple,
+    jobs: &[Job],
+    config: SimConfig,
+    observer: &mut dyn SimObserver,
+) -> Result<SimResult, SimError> {
+    let mut predictor = triple.prediction.build();
+    let correction = triple.correction.as_ref().map(|c| c.build());
+    let variant = triple.variant;
+    let mut run = |scratch: &mut WorkerScratch| {
+        let WorkerScratch { sim, schedulers } = scratch;
+        simulate_in(
+            sim,
+            jobs,
+            config,
+            scheduler_for(schedulers, variant),
+            predictor.as_mut(),
+            correction
+                .as_deref()
+                .map(|c| c as &dyn predictsim_sim::CorrectionPolicy),
+            observer,
+        )
+    };
+    WORKER_SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
+        Ok(mut scratch) => run(&mut scratch),
+        // Reentrant call (an observer running a nested scenario): fall
+        // back to cold buffers rather than panicking.
+        Err(_) => run(&mut WorkerScratch::default()),
+    })
+}
+
+/// The calling thread's cross-simulation scratch accounting (see
+/// [`ArenaStats`]): how many simulations this thread has run through its
+/// reusable arena, and how many of them grew any buffer.
+pub fn thread_arena_stats() -> ArenaStats {
+    WORKER_SCRATCH.with(|s| s.borrow().sim.stats())
+}
+
+/// Resets the calling thread's [`thread_arena_stats`] accounting
+/// (buffers stay warm).
+pub fn reset_thread_arena_stats() {
+    WORKER_SCRATCH.with(|s| s.borrow_mut().sim.reset_stats());
+}
 
 /// Why a scenario could not be built or run.
 #[derive(Debug)]
@@ -279,26 +369,19 @@ impl Scenario {
 
     /// Runs the policy triple on externally managed jobs (already
     /// validated, submit-ordered, densely numbered).
+    ///
+    /// Runs execute against the calling thread's [`WorkerScratch`] — the
+    /// engine arena and the scheduler's scratch buffers are reused
+    /// across simulations (behavior-identical: only capacity survives a
+    /// run, never state), which is what lets a campaign worker simulate
+    /// hundreds of triples while allocating ~nothing after warm-up.
     pub fn run_on(&mut self, jobs: &[Job], config: SimConfig) -> Result<SimResult, ScenarioError> {
-        let mut predictor = self.triple.prediction.build();
-        let mut scheduler = self.triple.variant.build();
-        let correction = self.triple.correction.as_ref().map(|c| c.build());
         let mut null = NullObserver;
         let observer: &mut dyn SimObserver = match self.observer.as_mut() {
             Some(o) => o.as_mut(),
             None => &mut null,
         };
-        simulate_observed(
-            jobs,
-            config,
-            scheduler.as_mut(),
-            predictor.as_mut(),
-            correction
-                .as_deref()
-                .map(|c| c as &dyn predictsim_sim::CorrectionPolicy),
-            observer,
-        )
-        .map_err(ScenarioError::from)
+        run_triple_with_scratch(&self.triple, jobs, config, observer).map_err(ScenarioError::from)
     }
 }
 

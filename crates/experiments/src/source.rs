@@ -18,7 +18,9 @@
 //! a synthetic log one day and a Parallel Workloads Archive trace the
 //! next — the ROADMAP's "real SWF logs" loader path.
 
+use std::ops::Deref;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use predictsim_sim::job::JobConversionError;
 use predictsim_sim::{jobs_from_swf, Job, SimConfig};
@@ -78,6 +80,105 @@ impl From<JobConversionError> for SourceError {
     }
 }
 
+/// An immutable, shareable job vector with a content fingerprint.
+///
+/// The experiment layer fans one workload out to hundreds of
+/// simulations (128 triples per log, re-read by cross-validation,
+/// tables, figures and ablations). The arena makes that sharing free —
+/// cloning is an `Arc` bump, never a copy of the jobs — and carries a
+/// stable content [fingerprint](JobArena::fingerprint), computed once
+/// per load, that keys the simulation cache
+/// ([`crate::cache::SimCache`]) within and across processes.
+///
+/// Derefs to `[Job]`, so any `&[Job]` consumer takes `&arena`.
+#[derive(Debug, Clone)]
+pub struct JobArena {
+    inner: Arc<ArenaInner>,
+}
+
+#[derive(Debug)]
+struct ArenaInner {
+    jobs: Vec<Job>,
+    fingerprint: u64,
+}
+
+impl JobArena {
+    /// Takes ownership of `jobs`, fingerprinting them once.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        let fingerprint = fingerprint_jobs(&jobs);
+        Self {
+            inner: Arc::new(ArenaInner { jobs, fingerprint }),
+        }
+    }
+
+    /// The jobs as a slice.
+    pub fn jobs(&self) -> &[Job] {
+        &self.inner.jobs
+    }
+
+    /// A stable 64-bit content fingerprint (FNV-1a over every job
+    /// field, in job order). Two arenas with equal fingerprints hold, up
+    /// to hash collision, the same workload — the identity the
+    /// simulation cache keys on. The encoding is fixed, so fingerprints
+    /// are comparable across processes and platforms (the persistent
+    /// `--cache` layer relies on this).
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint
+    }
+}
+
+impl Deref for JobArena {
+    type Target = [Job];
+
+    fn deref(&self) -> &[Job] {
+        &self.inner.jobs
+    }
+}
+
+impl From<Vec<Job>> for JobArena {
+    fn from(jobs: Vec<Job>) -> Self {
+        Self::new(jobs)
+    }
+}
+
+impl PartialEq for JobArena {
+    fn eq(&self, other: &Self) -> bool {
+        // Arc identity or fingerprint short-circuit; fall back to the
+        // full comparison so equality stays exact under collisions.
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.fingerprint == other.inner.fingerprint
+                && self.inner.jobs == other.inner.jobs)
+    }
+}
+
+/// FNV-1a over a byte stream — the stable (cross-process,
+/// cross-platform) hash behind workload fingerprints and the persistent
+/// cache's file names.
+pub(crate) fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes.into_iter().fold(OFFSET, |hash, byte| {
+        (hash ^ byte as u64).wrapping_mul(PRIME)
+    })
+}
+
+/// [`fnv1a64`] over a canonical little-endian encoding of every job
+/// field (length-prefixed).
+fn fingerprint_jobs(jobs: &[Job]) -> u64 {
+    let words = std::iter::once(jobs.len() as u64).chain(jobs.iter().flat_map(|job| {
+        [
+            job.id.0 as u64,
+            job.submit.0 as u64,
+            job.run as u64,
+            job.requested as u64,
+            job.procs as u64,
+            job.user as u64,
+            job.swf_id,
+        ]
+    }));
+    fnv1a64(words.flat_map(u64::to_le_bytes))
+}
+
 /// A simulator-ready workload, whatever it was loaded from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadedWorkload {
@@ -85,8 +186,10 @@ pub struct LoadedWorkload {
     pub name: String,
     /// Machine size to simulate on.
     pub machine_size: u32,
-    /// Jobs sorted by submission with dense ids `0..n`.
-    pub jobs: Vec<Job>,
+    /// Jobs sorted by submission with dense ids `0..n`, in a shared
+    /// fingerprinted arena (cloning a loaded workload never copies the
+    /// jobs).
+    pub jobs: JobArena,
     /// What cleaning did, when the workload came through the SWF path.
     pub cleaning: Option<CleaningReport>,
 }
@@ -105,7 +208,7 @@ impl From<GeneratedWorkload> for LoadedWorkload {
         Self {
             name: w.name,
             machine_size: w.machine_size,
-            jobs: w.jobs,
+            jobs: JobArena::new(w.jobs),
             cleaning: None,
         }
     }
@@ -116,7 +219,7 @@ impl From<&GeneratedWorkload> for LoadedWorkload {
         Self {
             name: w.name.clone(),
             machine_size: w.machine_size,
-            jobs: w.jobs.clone(),
+            jobs: JobArena::new(w.jobs.clone()),
             cleaning: None,
         }
     }
@@ -314,7 +417,7 @@ impl WorkloadSource for SwfSource {
         Ok(LoadedWorkload {
             name: self.name(),
             machine_size,
-            jobs,
+            jobs: JobArena::new(jobs),
             cleaning: Some(report),
         })
     }
@@ -344,7 +447,7 @@ mod tests {
         let spec = WorkloadSpec::toy();
         let direct = generate(&spec, 11);
         let loaded = SyntheticSource::new(spec, 11).load().unwrap();
-        assert_eq!(loaded.jobs, direct.jobs);
+        assert_eq!(&loaded.jobs[..], &direct.jobs[..]);
         assert_eq!(loaded.machine_size, direct.machine_size);
         assert_eq!(loaded.name, direct.name);
         assert!(loaded.cleaning.is_none());
@@ -380,7 +483,11 @@ mod tests {
         let loaded = SwfSource::new(&path).load().unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.machine_size, w.machine_size);
-        assert_eq!(loaded.jobs, w.jobs, "SWF round trip must be lossless");
+        assert_eq!(
+            &loaded.jobs[..],
+            &w.jobs[..],
+            "SWF round trip must be lossless"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub const TIMING_END: &str = "<!-- repro:timing:end -->";
 pub struct PhaseTimer {
     started: Instant,
     phases: Vec<(String, f64)>,
+    notes: Vec<String>,
 }
 
 impl Default for PhaseTimer {
@@ -28,6 +29,7 @@ impl PhaseTimer {
         PhaseTimer {
             started: Instant::now(),
             phases: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -38,6 +40,18 @@ impl PhaseTimer {
         self.phases
             .push((name.to_string(), t0.elapsed().as_secs_f64()));
         result
+    }
+
+    /// Records an externally measured duration (sub-phase rows, e.g. the
+    /// per-log breakdown of the campaigns phase).
+    pub fn record(&mut self, name: &str, secs: f64) {
+        self.phases.push((name.to_string(), secs));
+    }
+
+    /// Appends a free-form annotation rendered after the timing table
+    /// (cache-effectiveness counts and the like).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
     }
 
     /// The recorded `(phase, seconds)` pairs, in execution order.
@@ -72,6 +86,12 @@ impl PhaseTimer {
             out.push_str(&format!("| {name} | {secs:.2} |\n"));
         }
         out.push_str(&format!("| **total** | **{:.2}** |\n", self.total()));
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for note in &self.notes {
+                out.push_str(&format!("- {note}\n"));
+            }
+        }
         out
     }
 }

@@ -34,13 +34,14 @@
 //! from the context alone (see [`Scheduler::schedule_into`]); all
 //! bundled policies do.
 
-use crate::event::{EventKind, EventQueue};
+use crate::arena::SimArena;
+use crate::event::EventKind;
 use crate::job::{Job, JobId};
 use crate::observe::{NullObserver, SimEvent, SimObserver};
 use crate::outcome::{JobOutcome, SimResult};
 use crate::predict::{CorrectionPolicy, RuntimePredictor};
 use crate::scheduler::Scheduler;
-use crate::state::{RunningJob, SchedulerContext, SimState, SystemView, WaitingJob};
+use crate::state::{RunningJob, SchedulerContext, SystemView, WaitingJob};
 use crate::time::Time;
 
 /// Configuration for one simulation run.
@@ -84,6 +85,14 @@ pub enum SimError {
         /// Human-readable description.
         message: String,
     },
+    /// The observer requested an abort (see
+    /// [`crate::observe::SimObserver::keep_running`]). Not an error
+    /// condition of the simulation itself — the control outcome of an
+    /// early-abort sweep.
+    Aborted {
+        /// Simulation instant at which the abort took effect.
+        at: Time,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -101,6 +110,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::SchedulerViolation { message } => {
                 write!(f, "scheduler violation: {message}")
+            }
+            SimError::Aborted { at } => {
+                write!(f, "simulation aborted by its observer at t={}", at.0)
             }
         }
     }
@@ -147,47 +159,79 @@ pub fn simulate_observed(
     correction: Option<&dyn CorrectionPolicy>,
     observer: &mut dyn SimObserver,
 ) -> Result<SimResult, SimError> {
-    Engine::new(jobs, config)?.run(scheduler, predictor, correction, observer)
+    simulate_in(
+        &mut SimArena::new(),
+        jobs,
+        config,
+        scheduler,
+        predictor,
+        correction,
+        observer,
+    )
 }
 
-/// One simulation run's owned machinery: the indexed state, the event
-/// queue, and every reusable buffer of the hot loop.
+/// Runs one complete simulation *in* `arena`, reusing its buffers
+/// instead of allocating fresh ones (see [`crate::arena`]). Identical
+/// in behavior to [`simulate_observed`] — the arena retains capacity
+/// between runs, never state — so a warm worker simulates without
+/// allocating.
+pub fn simulate_in(
+    arena: &mut SimArena,
+    jobs: &[Job],
+    config: SimConfig,
+    scheduler: &mut dyn Scheduler,
+    predictor: &mut dyn RuntimePredictor,
+    correction: Option<&dyn CorrectionPolicy>,
+    observer: &mut dyn SimObserver,
+) -> Result<SimResult, SimError> {
+    let capacity_before = arena.capacity_signature();
+    let result = Engine::new(arena, jobs, config, predictor.wants_user_running_index())?
+        .run(scheduler, predictor, correction, observer);
+    arena.record_run(capacity_before);
+    result
+}
+
+/// One simulation run's machinery: the workload, the machine, and the
+/// [`SimArena`] holding the indexed state, the event queue, and every
+/// reusable buffer of the hot loop.
 ///
-/// [`simulate`] / [`simulate_observed`] construct one per run; the
-/// struct exists separately so tests can drive the loop with injected
-/// event sequences (stale expiries, fabricated batches).
+/// [`simulate`] / [`simulate_observed`] construct one per run over a
+/// fresh arena; the struct exists separately so tests can drive the
+/// loop with injected event sequences (stale expiries, fabricated
+/// batches).
 struct Engine<'a> {
     jobs: &'a [Job],
     machine_size: u32,
-    state: SimState,
-    events: EventQueue,
-    /// Clamped prediction made at each job's submission (by job index).
-    initial_predictions: Vec<i64>,
-    /// Outcome table written by job index — already in final order, no
-    /// sort needed at the end.
-    outcomes: Vec<Option<JobOutcome>>,
-    /// Event batch being applied (all events at one instant).
-    pending: Vec<EventKind>,
-    /// Start list reused across scheduling passes.
-    starts: Vec<JobId>,
+    arena: &'a mut SimArena,
 }
 
 impl<'a> Engine<'a> {
-    /// Validates the workload and heapifies its submit events in O(n).
-    fn new(jobs: &'a [Job], config: SimConfig) -> Result<Self, SimError> {
+    /// Validates the workload and heapifies its submit events in O(n),
+    /// re-initializing `arena`'s buffers in place.
+    fn new(
+        arena: &'a mut SimArena,
+        jobs: &'a [Job],
+        config: SimConfig,
+        user_index: bool,
+    ) -> Result<Self, SimError> {
         validate_workload(jobs, config)?;
+        arena
+            .state
+            .reset(config.machine_size, jobs.len(), user_index);
+        arena.events.reset_from_schedule(
+            jobs.iter()
+                .map(|job| (job.submit, EventKind::Submit(job.id))),
+        );
+        arena.initial_predictions.clear();
+        arena.initial_predictions.resize(jobs.len(), 0);
+        arena.outcomes.clear();
+        arena.outcomes.resize(jobs.len(), None);
+        arena.pending.clear();
+        arena.starts.clear();
         Ok(Self {
             jobs,
             machine_size: config.machine_size,
-            state: SimState::new(config.machine_size, jobs.len()),
-            events: EventQueue::from_schedule(
-                jobs.iter()
-                    .map(|job| (job.submit, EventKind::Submit(job.id))),
-            ),
-            initial_predictions: vec![0; jobs.len()],
-            outcomes: vec![None; jobs.len()],
-            pending: Vec::new(),
-            starts: Vec::new(),
+            arena,
         })
     }
 
@@ -199,44 +243,53 @@ impl<'a> Engine<'a> {
         correction: Option<&dyn CorrectionPolicy>,
         observer: &mut dyn SimObserver,
     ) -> Result<SimResult, SimError> {
-        while let Some(first) = self.events.pop() {
+        while let Some(first) = self.arena.events.pop() {
             let now = first.time;
             // Apply every event at this instant, then run one scheduling
-            // pass over the consistent post-batch state.
-            self.pending.clear();
-            self.pending.push(first.kind);
-            while self.events.peek_time() == Some(now) {
-                let event = self.events.pop().expect("peeked event exists");
-                self.pending.push(event.kind);
+            // pass over the consistent post-batch state. Most instants
+            // carry exactly one event; those skip the batch list.
+            if self.arena.events.peek_time() != Some(now) {
+                self.handle_event(first.kind, now, predictor, correction, observer);
+            } else {
+                let mut pending = std::mem::take(&mut self.arena.pending);
+                pending.clear();
+                pending.push(first.kind);
+                while self.arena.events.peek_time() == Some(now) {
+                    let event = self.arena.events.pop().expect("peeked event exists");
+                    pending.push(event.kind);
+                }
+                for &kind in &pending {
+                    self.handle_event(kind, now, predictor, correction, observer);
+                }
+                self.arena.pending = pending;
             }
-            for i in 0..self.pending.len() {
-                let kind = self.pending[i];
-                self.handle_event(kind, now, predictor, correction, observer);
+            if !observer.keep_running() {
+                return Err(SimError::Aborted { at: now });
             }
 
             // Skip the pass when it provably cannot start anything: no
             // candidates, or no processor for even the smallest job.
-            if self.state.queue_is_empty() || self.state.free() == 0 {
+            if self.arena.state.queue_is_empty() || self.arena.state.free() == 0 {
                 continue;
             }
-            let mut starts = std::mem::take(&mut self.starts);
+            let mut starts = std::mem::take(&mut self.arena.starts);
             starts.clear();
             scheduler.schedule_into(
                 &SchedulerContext {
                     now,
                     machine_size: self.machine_size,
-                    free: self.state.free(),
-                    queue: self.state.queue(),
-                    running: self.state.running(),
-                    releases: self.state.releases(),
-                    shortest_first: self.state.shortest_first(),
+                    free: self.arena.state.free(),
+                    queue: self.arena.state.queue(),
+                    running: self.arena.state.running(),
+                    releases: self.arena.state.releases(),
+                    shortest_first: self.arena.state.shortest_first(),
                 },
                 &mut starts,
             );
             let applied = self.apply_starts(&starts, now, observer);
-            self.starts = starts;
+            self.arena.starts = starts;
             applied?;
-            self.state.compact_queue();
+            self.arena.state.compact_queue();
         }
 
         // Every running job holds a pending Finish event, so the running
@@ -244,21 +297,22 @@ impl<'a> Engine<'a> {
         // scheduler can leave jobs waiting forever. Surface that as a
         // typed error instead of a panic (or the pre-refactor engine's
         // silently partial result).
-        if !self.state.queue_is_empty() {
+        if !self.arena.state.queue_is_empty() {
             return Err(SimError::SchedulerViolation {
                 message: format!(
                     "simulation ended with {} jobs never started",
-                    self.state.queue_len()
+                    self.arena.state.queue_len()
                 ),
             });
         }
         debug_assert!(
-            self.state.running().is_empty(),
+            self.arena.state.running().is_empty(),
             "simulation ended with running jobs"
         );
         let outcomes: Vec<JobOutcome> = self
+            .arena
             .outcomes
-            .into_iter()
+            .drain(..)
             .map(|o| o.expect("every job not left waiting has finished"))
             .collect();
 
@@ -285,10 +339,10 @@ impl<'a> Engine<'a> {
         match kind {
             EventKind::Finish(id) => {
                 let job = &self.jobs[id.index()];
-                let Some(r) = self.state.finish(id) else {
+                let Some(r) = self.arena.state.finish(id) else {
                     unreachable!("finish event for job that is not running");
                 };
-                let slot = &mut self.outcomes[id.index()];
+                let slot = &mut self.arena.outcomes[id.index()];
                 debug_assert!(slot.is_none(), "{id} finished twice");
                 let outcome = slot.insert(JobOutcome {
                     id,
@@ -300,7 +354,7 @@ impl<'a> Engine<'a> {
                     end: now,
                     run: job.granted_run(),
                     requested: job.requested,
-                    initial_prediction: self.initial_predictions[id.index()],
+                    initial_prediction: self.arena.initial_predictions[id.index()],
                     corrections: r.corrections,
                     killed: job.is_killed(),
                 });
@@ -308,15 +362,16 @@ impl<'a> Engine<'a> {
                 let view = SystemView {
                     now,
                     machine_size: self.machine_size,
-                    running: self.state.running(),
+                    running: self.arena.state.running(),
+                    user_running: self.arena.state.user_running(),
                 };
                 predictor.observe(job, job.granted_run(), &view);
             }
             EventKind::PredictionExpiry(id, generation) => {
-                let Some(index) = self.state.running_index(id) else {
+                let Some(index) = self.arena.state.running_index(id) else {
                     return; // stale: the job already finished
                 };
-                let r = self.state.running()[index];
+                let r = self.arena.state.running()[index];
                 if r.corrections != generation {
                     return; // stale: superseded by a newer correction
                 }
@@ -329,10 +384,11 @@ impl<'a> Engine<'a> {
                 };
                 let new_pred = clamp_correction(raw, elapsed, job.requested);
                 let new_end = r.start.plus(new_pred);
-                let generation = self.state.apply_correction(index, new_end);
+                let generation = self.arena.state.apply_correction(index, new_end);
                 let finish_at = r.start.plus(job.granted_run());
                 if new_end < finish_at {
-                    self.events
+                    self.arena
+                        .events
                         .push(new_end, EventKind::PredictionExpiry(id, generation));
                 }
                 observer.on_event(&SimEvent::Corrected {
@@ -348,17 +404,18 @@ impl<'a> Engine<'a> {
                 let view = SystemView {
                     now,
                     machine_size: self.machine_size,
-                    running: self.state.running(),
+                    running: self.arena.state.running(),
+                    user_running: self.arena.state.user_running(),
                 };
                 let raw = predictor.predict(job, &view);
                 let prediction = clamp_prediction(raw, job.requested);
-                self.initial_predictions[id.index()] = prediction;
+                self.arena.initial_predictions[id.index()] = prediction;
                 observer.on_event(&SimEvent::Submitted {
                     job,
                     prediction,
                     now,
                 });
-                self.state.enqueue(WaitingJob {
+                self.arena.state.enqueue(WaitingJob {
                     id,
                     procs: job.procs,
                     predicted: prediction,
@@ -378,25 +435,25 @@ impl<'a> Engine<'a> {
         observer: &mut dyn SimObserver,
     ) -> Result<(), SimError> {
         for &id in starts {
-            let Some(index) = self.state.waiting_index(id) else {
+            let Some(index) = self.arena.state.waiting_index(id) else {
                 return Err(SimError::SchedulerViolation {
                     message: format!("{id} started but is not waiting"),
                 });
             };
-            let w = *self.state.waiting_at(index);
-            if w.procs > self.state.free() {
+            let w = *self.arena.state.waiting_at(index);
+            if w.procs > self.arena.state.free() {
                 return Err(SimError::SchedulerViolation {
                     message: format!(
                         "{id} needs {} procs but only {} are free",
                         w.procs,
-                        self.state.free()
+                        self.arena.state.free()
                     ),
                 });
             }
             let job = &self.jobs[id.index()];
             let predicted_end = now.plus(w.predicted);
             let finish_at = now.plus(job.granted_run());
-            self.state.start(
+            self.arena.state.start(
                 index,
                 RunningJob {
                     id,
@@ -408,9 +465,10 @@ impl<'a> Engine<'a> {
                     corrections: 0,
                 },
             );
-            self.events.push(finish_at, EventKind::Finish(id));
+            self.arena.events.push(finish_at, EventKind::Finish(id));
             if predicted_end < finish_at {
-                self.events
+                self.arena
+                    .events
                     .push(predicted_end, EventKind::PredictionExpiry(id, 0));
             }
             observer.on_event(&SimEvent::Started {
@@ -730,11 +788,13 @@ mod tests {
     fn stale_expiry_in_same_batch_as_finish_is_skipped() {
         let jobs = [job(0, 0, 100, 200, 2, 1)];
         let cfg = config(4);
-        let mut engine = Engine::new(&jobs, cfg).unwrap();
+        let mut arena = SimArena::new();
+        let engine = Engine::new(&mut arena, &jobs, cfg, false).unwrap();
         // The job will start at t=0 and finish at t=100; inject an expiry
         // for it at exactly t=100. Rank order puts Finish first, so the
         // expiry sees Slot::Finished.
         engine
+            .arena
             .events
             .push(Time(100), EventKind::PredictionExpiry(JobId(0), 0));
         let corr = RequestedTimeCorrection;
@@ -757,8 +817,10 @@ mod tests {
     fn stale_generation_expiry_is_skipped() {
         let jobs = [job(0, 0, 100, 200, 2, 1)];
         let cfg = config(4);
-        let mut engine = Engine::new(&jobs, cfg).unwrap();
+        let mut arena = SimArena::new();
+        let engine = Engine::new(&mut arena, &jobs, cfg, false).unwrap();
         engine
+            .arena
             .events
             .push(Time(50), EventKind::PredictionExpiry(JobId(0), 7));
         let corr = RequestedTimeCorrection;

@@ -64,8 +64,24 @@ impl PartialOrd for Event {
 }
 
 /// Deterministic priority queue of events.
+///
+/// Internally a hybrid: a bulk schedule whose items arrive already
+/// sorted by `(time, rank, seq)` (the common case — a workload's submit
+/// events, sorted by submission) is kept as a plain vector drained
+/// front to back, and only *dynamically scheduled* events (finishes,
+/// prediction expiries) go through a binary heap. The heap therefore
+/// holds O(in-flight) events instead of O(total), and popping a bulk
+/// event is a cursor increment — while the pop order stays exactly the
+/// total `(time, rank, seq)` order: bulk events carry the smallest
+/// sequence numbers, so merging the two sources by that key reproduces
+/// the single-heap order bit for bit.
 #[derive(Debug, Default)]
 pub struct EventQueue {
+    /// The pre-sorted bulk schedule, drained via `cursor`.
+    schedule: Vec<Event>,
+    cursor: usize,
+    /// Dynamically pushed events (always later in sequence than every
+    /// bulk event).
     heap: BinaryHeap<Event>,
     next_seq: u64,
 }
@@ -76,29 +92,59 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Builds a queue from `items` with one O(n) heapify instead of n
-    /// O(log n) pushes. Sequence numbers are assigned in iteration
-    /// order, so the pop order is identical to pushing the items one by
-    /// one (the heap's internal layout never leaks: events are totally
-    /// ordered by `(time, rank, seq)`).
+    /// Builds a queue from `items` in O(n). Sequence numbers are
+    /// assigned in iteration order, so the pop order is identical to
+    /// pushing the items one by one (events are totally ordered by
+    /// `(time, rank, seq)`; out-of-order items just fall back to the
+    /// heap).
     pub fn from_schedule<I>(items: I) -> Self
     where
         I: IntoIterator<Item = (Time, EventKind)>,
     {
-        let events: Vec<Event> = items
-            .into_iter()
-            .enumerate()
-            .map(|(seq, (time, kind))| Event {
-                time,
-                kind,
-                seq: seq as u64,
-            })
-            .collect();
-        let next_seq = events.len() as u64;
-        Self {
-            heap: BinaryHeap::from(events),
-            next_seq,
+        let mut queue = Self::new();
+        queue.reset_from_schedule(items);
+        queue
+    }
+
+    /// Like [`EventQueue::from_schedule`], but reuses this queue's
+    /// buffers (the cross-simulation scratch-reuse seam). The pop order
+    /// is identical to a freshly built queue.
+    pub fn reset_from_schedule<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (Time, EventKind)>,
+    {
+        self.schedule.clear();
+        self.cursor = 0;
+        let mut heap_vec = std::mem::take(&mut self.heap).into_vec();
+        heap_vec.clear();
+        self.schedule.extend(
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(seq, (time, kind))| Event {
+                    time,
+                    kind,
+                    seq: seq as u64,
+                }),
+        );
+        self.next_seq = self.schedule.len() as u64;
+        // The fast path requires the bulk schedule to be sorted by the
+        // total event order; spill any out-of-order suffix to the heap
+        // (sequence numbers already reflect iteration order, so the
+        // merged pop order is unchanged).
+        if let Some(first_bad) = self
+            .schedule
+            .windows(2)
+            .position(|w| sort_key(&w[1]) < sort_key(&w[0]))
+        {
+            heap_vec.extend(self.schedule.drain(first_bad + 1..));
         }
+        self.heap = BinaryHeap::from(heap_vec);
+    }
+
+    /// Capacity of the underlying buffers (scratch-reuse accounting).
+    pub fn capacity(&self) -> usize {
+        self.schedule.capacity() + self.heap.capacity()
     }
 
     /// Schedules `kind` at `time`.
@@ -108,25 +154,59 @@ impl EventQueue {
         self.heap.push(Event { time, kind, seq });
     }
 
+    /// The next bulk event, if any.
+    #[inline]
+    fn bulk_front(&self) -> Option<&Event> {
+        self.schedule.get(self.cursor)
+    }
+
+    /// True when the next event in total order comes from the bulk
+    /// schedule rather than the heap.
+    #[inline]
+    fn bulk_first(&self) -> Option<bool> {
+        match (self.bulk_front(), self.heap.peek()) {
+            (Some(b), Some(h)) => Some(sort_key(b) <= sort_key(h)),
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (None, None) => None,
+        }
+    }
+
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        match self.bulk_first()? {
+            true => {
+                let event = self.schedule[self.cursor];
+                self.cursor += 1;
+                Some(event)
+            }
+            false => self.heap.pop(),
+        }
     }
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        match self.bulk_first()? {
+            true => self.bulk_front().map(|e| e.time),
+            false => self.heap.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        (self.schedule.len() - self.cursor) + self.heap.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
+}
+
+/// The total event order `(time, rank, seq)` as a comparable key.
+#[inline]
+fn sort_key(e: &Event) -> (Time, u8, u64) {
+    (e.time, e.kind.rank(), e.seq)
 }
 
 #[cfg(test)]

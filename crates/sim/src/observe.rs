@@ -115,6 +115,18 @@ pub enum SimEvent<'a> {
 pub trait SimObserver {
     /// Called once per engine state change, in event order.
     fn on_event(&mut self, event: &SimEvent<'_>);
+
+    /// Polled by the engine once per event batch: returning `false`
+    /// aborts the simulation (the engine returns
+    /// [`crate::engine::SimError::Aborted`]). The default never aborts,
+    /// so plain observers — including the closure blanket impl — are
+    /// unaffected. This is the early-abort seam sweep drivers use to
+    /// stop simulating a configuration that is already provably
+    /// dominated (e.g. its running prefix-AVEbsld lower bound exceeds a
+    /// known-better alternative).
+    fn keep_running(&self) -> bool {
+        true
+    }
 }
 
 impl<F: FnMut(&SimEvent<'_>)> SimObserver for F {

@@ -30,6 +30,18 @@ pub trait RuntimePredictor {
     /// order — this is where on-line learners update their model.
     fn observe(&mut self, job: &Job, actual_run: i64, system: &SystemView<'_>);
 
+    /// Whether this predictor reads per-user aggregates over the
+    /// running set ([`SystemView::user_running`]). When `true`, the
+    /// engine maintains the per-user index incrementally; when `false`
+    /// (the default), it skips that bookkeeping entirely — the index is
+    /// pure overhead for predictors that never consult the system state
+    /// (clairvoyant, requested-time, AVE₂). Either way the *values* a
+    /// consumer computes are identical: the index and a scan of
+    /// `running` aggregate the same set.
+    fn wants_user_running_index(&self) -> bool {
+        false
+    }
+
     /// Short display name used in reports (e.g. `"clairvoyant"`).
     fn name(&self) -> String;
 }
@@ -139,6 +151,7 @@ mod tests {
 
     fn empty_view() -> SystemView<'static> {
         SystemView {
+            user_running: None,
             now: Time(0),
             machine_size: 16,
             running: &[],

@@ -101,10 +101,16 @@ impl EasyScheduler {
     }
 
     /// The head reservation from the incrementally maintained release
-    /// set merged with this pass's phase-1 releases, or `None` when more
-    /// than one release lands on the crossing instant — there the extra
-    /// count depends on the legacy sort order, so the caller must fall
-    /// back to the from-scratch computation to stay byte-identical.
+    /// set merged with this pass's phase-1 releases, or `None` when the
+    /// releases tied at the crossing instant are (possibly)
+    /// heterogeneous — there the extra count depends on the legacy sort
+    /// order, so the caller must fall back to the from-scratch
+    /// computation to stay byte-identical. A *uniform* tie (every
+    /// release at the crossing instant frees the same processor count —
+    /// see [`crate::scheduler::ReleasePoint::uniform`]) is resolved
+    /// here: all permutations of equal releases cross after the same
+    /// number of jobs, so the legacy walk's result is computable without
+    /// the sort.
     fn fast_reservation(
         &self,
         now: Time,
@@ -123,23 +129,45 @@ impl EasyScheduler {
                 (None, Some(e)) => e.0,
                 (None, None) => unreachable!("loop condition"),
             };
+            let avail_before = avail;
             let mut jobs_here = 0u32;
+            // The common per-job release size of this instant's group, or
+            // 0 when unknown/heterogeneous.
+            let mut uniform = u32::MAX;
             if i < base.len() && base[i].time == t {
                 avail += base[i].procs;
                 jobs_here += base[i].jobs;
+                uniform = base[i].uniform;
                 i += 1;
             }
             while j < extra.len() && extra[j].0 == t {
                 avail += extra[j].1;
                 jobs_here += 1;
+                uniform = if uniform == u32::MAX || uniform == extra[j].1 {
+                    extra[j].1
+                } else {
+                    0
+                };
                 j += 1;
             }
             if avail >= head_procs {
                 if jobs_here > 1 {
-                    // Tie at the crossing instant: the legacy per-release
-                    // walk may cross mid-group and report fewer extra
-                    // processors, depending on sort order.
-                    return None;
+                    if uniform == 0 {
+                        // (Possibly) heterogeneous tie at the crossing
+                        // instant: the legacy per-release walk may cross
+                        // mid-group and report fewer extra processors,
+                        // depending on sort order.
+                        return None;
+                    }
+                    // Uniform tie: the legacy walk crosses after
+                    // ⌈need/uniform⌉ of the equal releases regardless of
+                    // their order.
+                    let need = head_procs - avail_before;
+                    let k = need.div_ceil(uniform);
+                    return Some(Reservation {
+                        shadow: Time(t),
+                        extra: avail_before + k * uniform - head_procs,
+                    });
                 }
                 return Some(Reservation {
                     shadow: Time(t),
@@ -258,14 +286,24 @@ impl Scheduler for EasyScheduler {
                     starts.push(job.id);
                 }
             };
+            // Once no processor is free, no candidate can start (every
+            // valid job needs at least one), so the remaining iterations
+            // are provably no-ops and the walk stops early — identical
+            // decisions, less per-pass work on deep queues.
             match self.order {
                 BackfillOrder::Fcfs => {
                     for job in &ctx.queue[head_idx + 1..] {
+                        if free == 0 {
+                            break;
+                        }
                         backfill(job, &mut free);
                     }
                 }
                 BackfillOrder::ShortestFirst => {
                     for &position in ctx.shortest_first {
+                        if free == 0 {
+                            break;
+                        }
                         if (position as usize) <= head_idx {
                             continue;
                         }

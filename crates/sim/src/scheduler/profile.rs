@@ -21,7 +21,14 @@ use crate::state::RunningJob;
 use crate::time::Time;
 
 /// One aggregated future capacity release.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality ignores the [`ReleasePoint::uniform`] cache: it is a
+/// conservative summary of the *history* of additions, so an
+/// incrementally maintained point can legitimately hold 0 where a
+/// freshly aggregated one knows the common size — without the sets
+/// differing in any behavior-relevant way (a 0 merely routes the EASY
+/// fast path to the fallback, which computes the same reservation).
+#[derive(Debug, Clone, Copy, Eq)]
 pub struct ReleasePoint {
     /// The instant (a predicted end of one or more running jobs).
     pub time: i64,
@@ -31,6 +38,21 @@ pub struct ReleasePoint {
     /// paths that are only order-independent for a *single* release at
     /// the crossing instant use this to detect ties.
     pub jobs: u32,
+    /// The common per-job processor count when every job releasing here
+    /// is known to release the same amount, else 0. Conservative: a
+    /// point that was ever heterogeneous stays 0 even if removals make
+    /// it uniform again (the aggregate cannot tell). A *uniform* tie at
+    /// a reservation's crossing instant is order-free — every
+    /// permutation of equal releases crosses after the same number of
+    /// jobs — which lets EASY's fast path resolve most ties without the
+    /// legacy sort-and-walk fallback.
+    pub uniform: u32,
+}
+
+impl PartialEq for ReleasePoint {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.procs, self.jobs) == (other.time, other.procs, other.jobs)
+    }
 }
 
 /// Time-sorted aggregate of the future capacity releases of the running
@@ -67,8 +89,12 @@ impl ReleaseSet {
     pub fn add(&mut self, time: i64, procs: u32) {
         match self.points.binary_search_by_key(&time, |p| p.time) {
             Ok(i) => {
-                self.points[i].procs += procs;
-                self.points[i].jobs += 1;
+                let p = &mut self.points[i];
+                p.procs += procs;
+                p.jobs += 1;
+                if p.uniform != procs {
+                    p.uniform = 0;
+                }
             }
             Err(i) => self.points.insert(
                 i,
@@ -76,6 +102,7 @@ impl ReleaseSet {
                     time,
                     procs,
                     jobs: 1,
+                    uniform: procs,
                 },
             ),
         }
@@ -120,6 +147,17 @@ impl ReleaseSet {
     /// The aggregated releases, sorted by time.
     pub fn points(&self) -> &[ReleasePoint] {
         &self.points
+    }
+
+    /// Empties the set, keeping the buffer's capacity (scratch reuse
+    /// across simulations).
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
+    /// Capacity of the point buffer (scratch-reuse accounting).
+    pub fn capacity(&self) -> usize {
+        self.points.capacity()
     }
 
     /// Number of distinct release instants.
@@ -419,12 +457,14 @@ mod tests {
                 ReleasePoint {
                     time: 50,
                     procs: 2,
-                    jobs: 1
+                    jobs: 1,
+                    uniform: 0
                 },
                 ReleasePoint {
                     time: 100,
                     procs: 7,
-                    jobs: 2
+                    jobs: 2,
+                    uniform: 0
                 },
             ]
         );
@@ -444,7 +484,8 @@ mod tests {
             &[ReleasePoint {
                 time: 100,
                 procs: 3,
-                jobs: 1
+                jobs: 1,
+                uniform: 0
             }]
         );
         s.shift(100, 250, 3);
@@ -453,7 +494,8 @@ mod tests {
             &[ReleasePoint {
                 time: 250,
                 procs: 3,
-                jobs: 1
+                jobs: 1,
+                uniform: 0
             }]
         );
         s.remove(250, 3);

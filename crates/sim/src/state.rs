@@ -13,6 +13,7 @@
 //! decisions, which keeps every policy a (mostly) pure function that is
 //! easy to unit-test in isolation.
 
+use crate::hash::FxHashMap;
 use crate::job::JobId;
 use crate::scheduler::profile::ReleaseSet;
 use crate::time::Time;
@@ -68,6 +69,65 @@ impl RunningJob {
     #[inline]
     pub fn predicted_remaining(&self, now: Time) -> i64 {
         self.predicted_end.since(now)
+    }
+}
+
+/// Incrementally maintained per-user view of the running set.
+///
+/// Table 2's "current state of the system" features are per-user
+/// aggregates over the running jobs (count, processors held, elapsed
+/// times), which a predictor would otherwise recompute by scanning the
+/// *whole* running set at every submission — O(running) per prediction,
+/// the dominant feature-extraction cost on large machines. The engine
+/// maintains this index on every start and finish instead, so
+/// [`SystemView::running_of_user`]-style queries touch only the user's
+/// own jobs.
+///
+/// Entries are `(procs, start)` pairs — exactly the fields the Table 2
+/// aggregates read. Two identical pairs of one user are
+/// interchangeable, so removal by value is sound, and the per-user
+/// aggregates are order-free (integer-valued `f64` sums and maxima), so
+/// iteration order never affects a feature value.
+#[derive(Debug, Clone, Default)]
+pub struct UserRunning {
+    users: FxHashMap<u32, Vec<(u32, Time)>>,
+}
+
+impl UserRunning {
+    /// The `(procs, start)` pairs of `user`'s running jobs, unordered.
+    pub fn of_user(&self, user: u32) -> &[(u32, Time)] {
+        self.users.get(&user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of users with at least one running job.
+    pub fn active_users(&self) -> usize {
+        self.users.values().filter(|v| !v.is_empty()).count()
+    }
+
+    fn add(&mut self, user: u32, procs: u32, start: Time) {
+        self.users.entry(user).or_default().push((procs, start));
+    }
+
+    fn remove(&mut self, user: u32, procs: u32, start: Time) {
+        let jobs = self.users.get_mut(&user).expect("user has running jobs");
+        let index = jobs
+            .iter()
+            .position(|&(p, s)| p == procs && s == start)
+            .expect("running job indexed under its user");
+        jobs.swap_remove(index);
+    }
+
+    /// Empties the index, keeping per-user buffer capacities (scratch
+    /// reuse across simulations).
+    fn clear(&mut self) {
+        for jobs in self.users.values_mut() {
+            jobs.clear();
+        }
+    }
+
+    /// Total capacity (in elements) of the owned buffers.
+    fn capacity(&self) -> usize {
+        self.users.capacity() + self.users.values().map(Vec::capacity).sum::<usize>()
     }
 }
 
@@ -137,11 +197,25 @@ pub struct SimState {
     shortest_first: Vec<u32>,
     /// Old-position → new-position scratch for queue compaction.
     remap: Vec<u32>,
+    /// Per-user index over `running` (see [`UserRunning`]).
+    user_running: UserRunning,
+    /// Whether the per-user index is maintained this run (predictors
+    /// that never read it skip the bookkeeping — see
+    /// [`crate::predict::RuntimePredictor::wants_user_running_index`]).
+    user_index_enabled: bool,
     pending_starts: u32,
 }
 
 /// Sentinel for "entry removed" in the compaction remap.
 const REMOVED: u32 = u32::MAX;
+
+impl Default for SimState {
+    /// An empty state for zero jobs on a zero-processor machine; reset
+    /// it (see [`SimState::reset`]) before use.
+    fn default() -> Self {
+        Self::new(0, 0)
+    }
+}
 
 /// Queue positions sorted by the shortest-job-first key
 /// `(predicted, submit, id)` — the order [`SimState`] maintains
@@ -166,8 +240,42 @@ impl SimState {
             releases: ReleaseSet::new(),
             shortest_first: Vec::new(),
             remap: Vec::new(),
+            user_running: UserRunning::default(),
+            user_index_enabled: true,
             pending_starts: 0,
         }
+    }
+
+    /// Re-initializes this state for a fresh run of `jobs` jobs on a
+    /// `machine_size`-processor machine, keeping every buffer's capacity
+    /// (the cross-simulation scratch-reuse seam — see
+    /// [`crate::arena::SimArena`]). `user_index` controls whether the
+    /// per-user running index is maintained for this run.
+    pub fn reset(&mut self, machine_size: u32, jobs: usize, user_index: bool) {
+        self.user_index_enabled = user_index;
+        self.machine_size = machine_size;
+        self.free = machine_size;
+        self.queue.clear();
+        self.running.clear();
+        self.slots.clear();
+        self.slots.resize(jobs, Slot::Unsubmitted);
+        self.releases.clear();
+        self.shortest_first.clear();
+        self.remap.clear();
+        self.user_running.clear();
+        self.pending_starts = 0;
+    }
+
+    /// Total capacity (in elements) of the owned buffers — the
+    /// scratch-reuse accounting [`crate::arena::ArenaStats`] watches.
+    pub fn scratch_capacity(&self) -> usize {
+        self.queue.capacity()
+            + self.running.capacity()
+            + self.slots.capacity()
+            + self.releases.capacity()
+            + self.shortest_first.capacity()
+            + self.remap.capacity()
+            + self.user_running.capacity()
     }
 
     /// The shortest-job-first key of a waiting job.
@@ -218,6 +326,14 @@ impl SimState {
     /// The incrementally maintained release aggregate.
     pub fn releases(&self) -> &ReleaseSet {
         &self.releases
+    }
+
+    /// The incrementally maintained per-user view of the running set,
+    /// when it is being maintained this run (`None` when the predictor
+    /// declined it — consumers then fall back to scanning `running`,
+    /// which aggregates the same set).
+    pub fn user_running(&self) -> Option<&UserRunning> {
+        self.user_index_enabled.then_some(&self.user_running)
     }
 
     /// Queue positions sorted by `(predicted, submit, id)` (see
@@ -294,6 +410,9 @@ impl SimState {
         self.free -= r.procs;
         self.slots[w.id.index()] = Slot::Running(self.running.len() as u32);
         self.releases.add(r.predicted_end.0, r.procs);
+        if self.user_index_enabled {
+            self.user_running.add(r.user, r.procs, r.start);
+        }
         self.running.push(r);
         self.pending_starts += 1;
     }
@@ -341,6 +460,9 @@ impl SimState {
         self.slots[id.index()] = Slot::Finished;
         self.free += r.procs;
         self.releases.remove(r.predicted_end.0, r.procs);
+        if self.user_index_enabled {
+            self.user_running.remove(r.user, r.procs, r.start);
+        }
         Some(r)
     }
 
@@ -411,6 +533,30 @@ impl SimState {
             sorted_shortest_first(&self.queue),
             "shortest-first view drifted from the queue"
         );
+        if !self.user_index_enabled {
+            return;
+        }
+        let mut expected: Vec<(u32, u32, Time)> = self
+            .running
+            .iter()
+            .map(|r| (r.user, r.procs, r.start))
+            .collect();
+        let mut indexed: Vec<(u32, u32, Time)> = self
+            .running
+            .iter()
+            .map(|r| r.user)
+            .collect::<std::collections::BTreeSet<u32>>()
+            .into_iter()
+            .flat_map(|user| {
+                self.user_running
+                    .of_user(user)
+                    .iter()
+                    .map(move |&(procs, start)| (user, procs, start))
+            })
+            .collect();
+        expected.sort();
+        indexed.sort();
+        assert_eq!(indexed, expected, "per-user running index drifted");
     }
 }
 
@@ -425,6 +571,11 @@ pub struct SystemView<'a> {
     pub machine_size: u32,
     /// Running jobs, unordered.
     pub running: &'a [RunningJob],
+    /// The engine's incrementally maintained per-user index over
+    /// `running`, when one is available (views built by hand in tests
+    /// may pass `None`; consumers must treat the index and a scan of
+    /// `running` as interchangeable — they aggregate the same set).
+    pub user_running: Option<&'a UserRunning>,
 }
 
 impl SystemView<'_> {
@@ -606,6 +757,7 @@ mod tests {
             now: Time(50),
             machine_size: 64,
             running: &running,
+            user_running: None,
         };
         assert_eq!(view.running_of_user(7).count(), 2);
         assert_eq!(view.occupied_resources(7), 6);

@@ -257,17 +257,19 @@ fn oversized_head_takes_degrade_branch_identically() {
     assert!(production.is_empty());
 }
 
-/// EASY's tie fallback really fires on tie-heavy states (otherwise the
-/// oracle comparison above would only be exercising the fast path).
+/// EASY's tie fallback really fires on *heterogeneous* tie states
+/// (otherwise the oracle comparison above would only be exercising the
+/// fast path).
 #[test]
-fn tie_fallback_engages_on_crossing_ties() {
-    // free=0; head needs 4; two running jobs release 8+8 at t=50, so the
+fn tie_fallback_engages_on_heterogeneous_crossing_ties() {
+    // free=6; head needs 8; two running jobs release 8+2 at t=50, so the
     // cumulative availability crosses the head's requirement at an
-    // instant with two releases — the fast path must decline (the legacy
-    // walk's `extra` would depend on which release it crossed on).
+    // instant with two releases of *different* widths — the fast path
+    // must decline (the legacy walk's `extra` depends on which release
+    // it crossed on).
     let snapshot = Snapshot {
-        queue: vec![waiting(0, 4, 100, 0), waiting(1, 2, 300, 1)],
-        running: vec![running(1000, 8, 50), running(1001, 8, 50)],
+        queue: vec![waiting(0, 8, 100, 0), waiting(1, 2, 300, 1)],
+        running: vec![running(1000, 8, 50), running(1001, 2, 50)],
     };
     let releases = ReleaseSet::from_running(&snapshot.running);
     let shortest = sorted_shortest_first(&snapshot.queue);
@@ -275,5 +277,39 @@ fn tie_fallback_engages_on_crossing_ties() {
     let mut easy = EasyScheduler::new();
     let starts = easy.schedule(&ctx);
     assert_eq!(easy.stats().slow_passes, 1, "tie must take the fallback");
+    assert_eq!(starts, ReferenceEasy::new().schedule(&ctx));
+}
+
+/// A *uniform* tie — every release at the crossing instant frees the
+/// same processor count — is order-free (any permutation of equal
+/// releases crosses after the same number of jobs), so the fast path
+/// resolves it without the sort-and-walk fallback, and the decision
+/// still matches the brute-force oracle.
+#[test]
+fn uniform_crossing_ties_stay_on_the_fast_path() {
+    // free=4; head needs 8; three running jobs release 4 each at t=50:
+    // the legacy walk crosses after the *first* release regardless of
+    // order (extra = 4 + 4 - 8 = 0), so the 4-proc candidate that
+    // outlives the shadow must NOT backfill — a naive tie resolution
+    // that added the whole group before crossing would report extra = 8
+    // and wrongly admit it.
+    let snapshot = Snapshot {
+        queue: vec![waiting(0, 8, 100, 0), waiting(1, 4, 300, 1)],
+        running: vec![
+            running(1000, 4, 50),
+            running(1001, 4, 50),
+            running(1002, 4, 50),
+        ],
+    };
+    let releases = ReleaseSet::from_running(&snapshot.running);
+    let shortest = sorted_shortest_first(&snapshot.queue);
+    let ctx = ctx_of(&snapshot, &releases, &shortest);
+    let mut easy = EasyScheduler::new();
+    let starts = easy.schedule(&ctx);
+    assert_eq!(
+        easy.stats().slow_passes,
+        0,
+        "uniform tie must stay on the fast path"
+    );
     assert_eq!(starts, ReferenceEasy::new().schedule(&ctx));
 }

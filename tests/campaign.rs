@@ -97,7 +97,8 @@ fn campaign_json_artifacts_round_trip() {
 #[test]
 fn table_helpers_work_on_reduced_campaigns() {
     use predictsim::experiments::tables::{render_table1, render_table8, table1, table8};
-    let ws = workloads();
+    let ws: Vec<predictsim::experiments::LoadedWorkload> =
+        workloads().into_iter().map(Into::into).collect();
     let rows = table1(&ws[..1]);
     assert_eq!(rows.len(), 1);
     assert!(render_table1(&rows).contains("W1"));
@@ -116,7 +117,7 @@ fn figure_helpers_work_on_reduced_campaigns() {
     let fig = fig3(&campaigns, "W1", "W2");
     assert_eq!(fig.points.len(), triples.len());
 
-    let f45 = fig4_fig5(&ws[0], 25);
+    let f45 = fig4_fig5(&ws[0].clone().into(), 25);
     assert_eq!(f45.error_series.len(), 4);
     assert_eq!(f45.value_series.len(), 5);
 }

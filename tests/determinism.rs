@@ -2,7 +2,16 @@
 //! produce bit-identical workloads, simulations, and campaign artifacts —
 //! the property that makes every number in EXPERIMENTS.md reproducible.
 
+use predictsim::experiments::SimCache;
 use predictsim::prelude::*;
+
+/// Campaigns route through the process-wide simulation cache; the tests
+/// below compare *fresh* runs, so each run starts from a cleared cache
+/// (otherwise the second run would trivially equal the first by
+/// memoization rather than by determinism).
+fn fresh() {
+    SimCache::global().clear_memory();
+}
 
 #[test]
 fn workload_generation_is_reproducible_across_calls() {
@@ -85,7 +94,9 @@ fn parallel_campaign_equals_itself() {
         HeuristicTriple::easy_plus_plus(),
         HeuristicTriple::paper_winner(),
     ];
+    fresh();
     let a = run_campaign(&w, &triples);
+    fresh();
     let b = run_campaign(&w, &triples);
     assert_eq!(a, b, "rayon parallelism must not leak into results");
 }
@@ -108,9 +119,16 @@ fn campaign_json_is_byte_identical_across_thread_counts() {
         HeuristicTriple::clairvoyant(Variant::Easy),
         HeuristicTriple::clairvoyant(Variant::EasySjbf),
     ];
+    // Convert once: the arena (and its fingerprint) is shared by every
+    // width, so only the simulations themselves are inside the loop.
+    let loaded = predictsim::experiments::LoadedWorkload::from(&w);
     let json_at = |width: usize| {
+        fresh();
         rayon::pool::with_num_threads(width, || {
-            serde_json::to_string(&run_campaign(&w, &triples)).expect("serialize campaign")
+            serde_json::to_string(&predictsim::experiments::campaign::run_campaign_loaded(
+                &loaded, &triples,
+            ))
+            .expect("serialize campaign")
         })
     };
     let single = json_at(1);
@@ -141,11 +159,14 @@ fn cross_validation_json_is_byte_identical_across_thread_counts() {
         HeuristicTriple::easy_plus_plus(),
         HeuristicTriple::paper_winner(),
     ];
+    let loaded: Vec<predictsim::experiments::LoadedWorkload> =
+        workloads.iter().map(Into::into).collect();
     let json_at = |width: usize| {
+        fresh();
         rayon::pool::with_num_threads(width, || {
-            let campaigns: Vec<_> = workloads
+            let campaigns: Vec<_> = loaded
                 .iter()
-                .map(|w| run_campaign(w, &triples))
+                .map(|w| predictsim::experiments::campaign::run_campaign_loaded(w, &triples))
                 .collect();
             serde_json::to_string(&cross_validate(&campaigns)).expect("serialize CV outcome")
         })

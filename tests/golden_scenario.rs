@@ -86,10 +86,12 @@ fn scenario_path_reproduces_the_golden_trace_at_widths_1_and_8() {
 #[test]
 fn scenario_path_figures_are_width_invariant() {
     let source = &golden_sources()[0];
-    let workload = generate(&source.spec, source.seed);
+    let loaded: predictsim::experiments::LoadedWorkload =
+        generate(&source.spec, source.seed).into();
     let json_at = |width: usize| {
+        predictsim::experiments::SimCache::global().clear_memory();
         rayon::pool::with_num_threads(width, || {
-            serde_json::to_string(&fig4_fig5(&workload, 49)).expect("serialize figures")
+            serde_json::to_string(&fig4_fig5(&loaded, 49)).expect("serialize figures")
         })
     };
     assert_eq!(json_at(1), json_at(8));

@@ -12,13 +12,14 @@ use predictsim::prelude::*;
 #[test]
 fn campaign_fans_out_across_multiple_os_threads() {
     let mut spec = WorkloadSpec::toy();
-    spec.jobs = 400;
-    spec.duration = 4 * 86_400;
+    spec.jobs = 4_000;
+    spec.duration = 40 * 86_400;
     spec.utilization = 0.85;
     let w = generate(&spec, 7);
-    // Eight triples, several of them expensive learning simulations, so
-    // every worker has time to claim work before the first one drains
-    // the queue.
+    // Eight triples, several of them expensive learning simulations
+    // spanning multiple OS timeslices each, so every worker has time to
+    // claim work before the first one drains the queue — even on a
+    // single-core machine, where participation depends on preemption.
     let triples = vec![
         HeuristicTriple::standard_easy(),
         HeuristicTriple::easy_plus_plus(),
@@ -64,7 +65,10 @@ fn campaign_fans_out_across_multiple_os_threads() {
         after.max_workers_in_one_op
     );
 
-    // And the parallel run is still the sequential run, result-wise.
+    // And the parallel run is still the sequential run, result-wise —
+    // compared against a *fresh* sequential simulation, not the
+    // memoized cells of the parallel run.
+    predictsim::experiments::SimCache::global().clear_memory();
     let sequential = rayon::pool::with_num_threads(1, || run_campaign(&w, &triples));
     assert_eq!(campaign, sequential);
 }

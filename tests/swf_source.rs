@@ -32,7 +32,8 @@ fn swf_written_workload_round_trips_to_identical_jobs() {
     let loaded = SwfSource::from_text(w.name.clone(), text).load().unwrap();
     assert_eq!(loaded.machine_size, w.machine_size);
     assert_eq!(
-        loaded.jobs, w.jobs,
+        &loaded.jobs[..],
+        &w.jobs[..],
         "write_log → SwfSource must reproduce every job field (id, submit, \
          run, requested, procs, user, swf_id)"
     );
