@@ -41,9 +41,7 @@ fn event_queue(c: &mut Criterion) {
 
 fn simulation_throughput(c: &mut Criterion) {
     let w = measure_workload();
-    let cfg = SimConfig {
-        machine_size: w.machine_size,
-    };
+    let cfg = SimConfig::single(w.machine_size);
     let mut g = c.benchmark_group("simulation");
     g.sample_size(20);
     g.throughput(criterion::Throughput::Elements(w.jobs.len() as u64));

@@ -31,6 +31,26 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // The same campaign on a 2-partition split machine: the per-instant
+    // cost grows with the extra routing pass, so this row tracks the
+    // heterogeneous overhead relative to `campaign` above.
+    // The main partition matches the KTH machine (m=100) so every job
+    // fits; the half-speed overflow partition adds the routing work.
+    let cluster: predictsim_sim::ClusterSpec = "cluster:100x1+32x0.5"
+        .parse()
+        .expect("bench cluster parses");
+    for width in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("engine_hetero", width), &width, |b, &n| {
+            b.iter(|| {
+                predictsim_experiments::SimCache::global().clear_memory();
+                rayon::pool::with_num_threads(n, || {
+                    std::hint::black_box(predictsim_experiments::campaign::run_campaign_cluster(
+                        &loaded, cluster, &triples,
+                    ))
+                })
+            })
+        });
+    }
     g.finish();
 
     let stats = rayon::pool::stats();

@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
     );
 
     let w = measure_workload();
-    let cfg = SimConfig {
-        machine_size: w.machine_size,
-    };
+    let cfg = SimConfig::single(w.machine_size);
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function("easy_vs_clairvoyant", |b| {

@@ -114,6 +114,7 @@ mod tests {
             initial_prediction: pred,
             corrections: 0,
             killed: false,
+            partition: 0,
         }
     }
 

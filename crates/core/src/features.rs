@@ -287,6 +287,7 @@ mod tests {
             deadline: Time(start + 2000),
             user,
             corrections: 0,
+            partition: 0,
         }
     }
 

@@ -58,7 +58,7 @@
 //! let correction = IncrementalCorrection::new();
 //! let result = simulate(
 //!     &jobs,
-//!     SimConfig { machine_size: 16 },
+//!     SimConfig::single(16),
 //!     &mut EasyScheduler::sjbf(),
 //!     &mut predictor,
 //!     Some(&correction),

@@ -33,7 +33,11 @@ fn run_rows(workload: &LoadedWorkload, runs: Vec<(String, HeuristicTriple)>) -> 
     runs.into_par_iter()
         .map(|(label, triple)| {
             let cell = cache
-                .run_cell(&workload.jobs, workload.machine_size, &triple)
+                .run_cell(
+                    &workload.jobs,
+                    predictsim_sim::ClusterSpec::single(workload.machine_size),
+                    &triple,
+                )
                 .unwrap_or_else(|e| panic!("ablation {label} failed: {e}"));
             AblationRow {
                 label,

@@ -36,6 +36,10 @@
 //!   --predictor P    registry name, e.g. ave2, ml:u=lin,o=sq,g=area
 //!                    (default requested)
 //!   --correction C   registry name, e.g. incremental       (default none)
+//!   --cluster SPEC   place the workload on this cluster: `64` (one
+//!                    homogeneous machine) or `cluster:64x1+32x0.5`
+//!                    (ordered partitions, first-fit routing;
+//!                    default: the workload's own machine)
 //! ```
 
 use std::io::Write as _;
@@ -70,6 +74,7 @@ struct Options {
     scheduler: Option<String>,
     predictor: Option<String>,
     correction: Option<String>,
+    cluster: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -88,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scheduler = None;
     let mut predictor = None;
     let mut correction = None;
+    let mut cluster = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -106,6 +112,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--correction" => {
                 correction = Some(args.next().ok_or("--correction needs a registry name")?);
+            }
+            "--cluster" => {
+                cluster = Some(args.next().ok_or("--cluster needs a spec")?);
             }
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
@@ -152,13 +161,14 @@ fn parse_args() -> Result<Options, String> {
         || log.is_some()
         || scheduler.is_some()
         || predictor.is_some()
-        || correction.is_some();
+        || correction.is_some()
+        || cluster.is_some();
     if scenario_flags && experiments.is_empty() {
         experiments.push("scenario".into());
     } else if scenario_flags && !experiments.iter().any(|e| e == "scenario" || e == "help") {
         return Err(
-            "--swf/--log/--scheduler/--predictor/--correction only apply to the \
-             `scenario` experiment; add `scenario` to the experiment list"
+            "--swf/--log/--scheduler/--predictor/--correction/--cluster only apply to \
+             the `scenario` experiment; add `scenario` to the experiment list"
                 .into(),
         );
     }
@@ -178,6 +188,7 @@ fn parse_args() -> Result<Options, String> {
         scheduler,
         predictor,
         correction,
+        cluster,
     })
 }
 
@@ -338,6 +349,9 @@ fn run_scenario(opts: &Options, timer: &mut PhaseTimer) {
     if let Some(c) = &opts.correction {
         builder = builder.correction(c);
     }
+    if let Some(c) = &opts.cluster {
+        builder = builder.cluster(c);
+    }
     let mut scenario = builder.build().unwrap_or_else(|e| fail(&e));
 
     println!("## Scenario — {}\n", scenario.name());
@@ -359,8 +373,15 @@ fn run_scenario(opts: &Options, timer: &mut PhaseTimer) {
             report.repaired_inversions,
         );
     }
+    let config = match scenario.cluster() {
+        Some(cluster) => {
+            eprintln!("  cluster: {cluster} ({} procs)", cluster.total_procs());
+            predictsim_sim::SimConfig { cluster }
+        }
+        None => loaded.sim_config(),
+    };
     let result = timer.time("scenario simulation", || {
-        scenario.run_on(&loaded.jobs, loaded.sim_config())
+        scenario.run_on(&loaded.jobs, config)
     });
     let result = result.unwrap_or_else(|e| fail(&e));
     let summary = TripleResult::from_sim(scenario.triple(), &result);
@@ -652,4 +673,9 @@ SCENARIO OPTIONS (imply the scenario experiment when no other is named)
                   ml(u=lin,o=sq,g=area) or ml:u=lin,o=sq,g=area
                   (default requested)
   --correction C  e.g. req-time, incremental, rec-doubling  (default none)
+  --cluster SPEC  place the workload on an explicit cluster: `64` is one
+                  homogeneous 64-processor machine (the legacy model);
+                  `cluster:64x1+32x0.5` is two ordered partitions — 64
+                  full-speed processors, then 32 at half speed — routed
+                  first-fit (default: the workload's own machine)
 ";

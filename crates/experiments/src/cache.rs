@@ -6,7 +6,8 @@
 //! Table 8 and Figures 4/5 re-run campaign cells on Curie, and the
 //! ablations overlap the grid on the first log. [`SimCache`] keys each
 //! simulated cell by (workload [fingerprint](JobArena::fingerprint) ×
-//! canonical triple name × machine size) and memoizes the cell's
+//! canonical triple name × canonical [`ClusterSpec`] string) and
+//! memoizes the cell's
 //! aggregate [`TripleResult`] plus its per-job initial predictions —
 //! everything any consumer reads — so every distinct cell simulates
 //! **once per process**, whichever experiment asks first.
@@ -32,6 +33,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use predictsim_sim::ClusterSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::TripleResult;
@@ -51,11 +53,13 @@ pub struct CachedCell {
     pub predictions: Option<Arc<Vec<i64>>>,
 }
 
-/// Cache identity of one cell.
+/// Cache identity of one cell. The cluster is keyed by its canonical
+/// [`ClusterSpec`] string, so two specs with equal total processors but
+/// different partitioning (or speeds) can never alias each other.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CellKey {
     fingerprint: u64,
-    machine_size: u32,
+    cluster: String,
     triple: String,
 }
 
@@ -96,7 +100,7 @@ impl CacheStats {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct DiskCell {
     fingerprint: u64,
-    machine_size: u32,
+    cluster: String,
     triple: String,
     result: TripleResult,
     predictions: Vec<i64>,
@@ -169,12 +173,12 @@ impl SimCache {
     pub fn peek(
         &self,
         arena: &JobArena,
-        machine_size: u32,
+        cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Option<CachedCell> {
         let key = CellKey {
             fingerprint: arena.fingerprint(),
-            machine_size,
+            cluster: cluster.to_string(),
             triple: triple.name(),
         };
         if let Some(cell) = self.cells.lock().expect("cache lock").get(&key) {
@@ -187,18 +191,18 @@ impl SimCache {
         Some(cell)
     }
 
-    /// Runs (or recalls) one cell: `triple` on the `arena` workload at
-    /// `machine_size`. The returned aggregates are byte-identical to a
+    /// Runs (or recalls) one cell: `triple` on the `arena` workload on
+    /// `cluster`. The returned aggregates are byte-identical to a
     /// fresh simulation's whichever layer serves them.
     pub fn run_cell(
         &self,
         arena: &JobArena,
-        machine_size: u32,
+        cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Result<CachedCell, ScenarioError> {
         let key = CellKey {
             fingerprint: arena.fingerprint(),
-            machine_size,
+            cluster: cluster.to_string(),
             triple: triple.name(),
         };
         if let Some(cell) = self.cells.lock().expect("cache lock").get(&key) {
@@ -212,8 +216,8 @@ impl SimCache {
         }
 
         self.simulated.fetch_add(1, Ordering::Relaxed);
-        let sim = Scenario::from_triple(triple)
-            .run_on(arena, predictsim_sim::SimConfig { machine_size })?;
+        let sim =
+            Scenario::from_triple(triple).run_on(arena, predictsim_sim::SimConfig { cluster })?;
         let result = TripleResult::from_sim(triple, &sim);
         let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
         let cell = CachedCell {
@@ -230,16 +234,16 @@ impl SimCache {
     pub fn run_cell_full(
         &self,
         arena: &JobArena,
-        machine_size: u32,
+        cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Result<(TripleResult, Arc<Vec<i64>>), ScenarioError> {
-        let cell = self.run_cell(arena, machine_size, triple)?;
+        let cell = self.run_cell(arena, cluster, triple)?;
         if let Some(predictions) = cell.predictions {
             return Ok((cell.result, predictions));
         }
         self.simulated.fetch_add(1, Ordering::Relaxed);
-        let sim = Scenario::from_triple(triple)
-            .run_on(arena, predictsim_sim::SimConfig { machine_size })?;
+        let sim =
+            Scenario::from_triple(triple).run_on(arena, predictsim_sim::SimConfig { cluster })?;
         let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
         Ok((cell.result, Arc::new(predictions)))
     }
@@ -252,7 +256,7 @@ impl SimCache {
     pub(crate) fn record_simulated(
         &self,
         arena: &JobArena,
-        machine_size: u32,
+        cluster: ClusterSpec,
         triple: &HeuristicTriple,
         result: TripleResult,
         predictions: Vec<i64>,
@@ -260,7 +264,7 @@ impl SimCache {
         self.simulated.fetch_add(1, Ordering::Relaxed);
         let key = CellKey {
             fingerprint: arena.fingerprint(),
-            machine_size,
+            cluster: cluster.to_string(),
             triple: triple.name(),
         };
         let cell = CachedCell {
@@ -296,7 +300,7 @@ impl SimCache {
             key.fingerprint
                 .to_le_bytes()
                 .into_iter()
-                .chain(key.machine_size.to_le_bytes())
+                .chain(key.cluster.bytes())
                 .chain(key.triple.bytes()),
         );
         dir.join(format!("cell-{hash:016x}.json"))
@@ -309,7 +313,7 @@ impl SimCache {
         // Verify the full key: a file-name hash collision or a stale
         // entry must never serve the wrong cell.
         if disk.fingerprint != key.fingerprint
-            || disk.machine_size != key.machine_size
+            || disk.cluster != key.cluster
             || disk.triple != key.triple
         {
             return None;
@@ -329,7 +333,7 @@ impl SimCache {
         };
         let disk = DiskCell {
             fingerprint: key.fingerprint,
-            machine_size: key.machine_size,
+            cluster: key.cluster.clone(),
             triple: key.triple.clone(),
             result: cell.result.clone(),
             predictions: predictions.as_ref().clone(),
@@ -353,12 +357,12 @@ mod tests {
     use crate::triple::Variant;
     use predictsim_workload::{generate, WorkloadSpec};
 
-    fn tiny_arena(seed: u64) -> (JobArena, u32) {
+    fn tiny_arena(seed: u64) -> (JobArena, ClusterSpec) {
         let mut spec = WorkloadSpec::toy();
         spec.jobs = 200;
         spec.duration = 2 * 86_400;
         let w = generate(&spec, seed);
-        (JobArena::new(w.jobs), w.machine_size)
+        (JobArena::new(w.jobs), ClusterSpec::single(w.machine_size))
     }
 
     /// A private cache instance (the global one is shared across tests).
@@ -388,7 +392,7 @@ mod tests {
         let triple = HeuristicTriple::standard_easy();
         let cell = cache.run_cell(&arena, m, &triple).unwrap();
         let sim = Scenario::from_triple(&triple)
-            .run_on(&arena, predictsim_sim::SimConfig { machine_size: m })
+            .run_on(&arena, predictsim_sim::SimConfig { cluster: m })
             .unwrap();
         assert_eq!(cell.result, TripleResult::from_sim(&triple, &sim));
         let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
@@ -413,6 +417,38 @@ mod tests {
         ];
         assert_eq!(cache.stats().simulated, 3, "three distinct cells");
         assert_ne!(cells[0].result.ave_bsld, cells[2].result.ave_bsld);
+    }
+
+    #[test]
+    fn equal_total_clusters_are_distinct_cells() {
+        // Two cluster specs with the same total processor count — the
+        // legacy single machine and a half-speed single partition — must
+        // never alias: each gets its own simulation, in memory and on
+        // disk (the key is the canonical cluster string, not the total).
+        let cache = private();
+        let (arena, legacy) = tiny_arena(14);
+        let slow: ClusterSpec = format!("cluster:{}x0.5", legacy.total_procs())
+            .parse()
+            .unwrap();
+        assert_eq!(legacy.total_procs(), slow.total_procs());
+        assert_ne!(legacy.fingerprint(), slow.fingerprint());
+        // Equal totals with different partitioning also fingerprint apart.
+        let split: ClusterSpec = "cluster:32x1+32x1".parse().unwrap();
+        assert_eq!(split.total_procs(), ClusterSpec::single(64).total_procs());
+        assert_ne!(split.fingerprint(), ClusterSpec::single(64).fingerprint());
+
+        let triple = HeuristicTriple::standard_easy();
+        cache.run_cell(&arena, legacy, &triple).unwrap();
+        cache.run_cell(&arena, slow, &triple).unwrap();
+        assert_eq!(
+            cache.stats().simulated,
+            2,
+            "equal-total specs must not share a cell"
+        );
+        assert_eq!(cache.stats().hits(), 0);
+        // And each spec is a hit against itself.
+        cache.run_cell(&arena, slow, &triple).unwrap();
+        assert_eq!(cache.stats().memory_hits, 1);
     }
 
     #[test]
@@ -489,7 +525,7 @@ mod tests {
 
         // The value an external driver (the prune sweep) simulated.
         let sim = Scenario::from_triple(&triple)
-            .run_on(&arena, predictsim_sim::SimConfig { machine_size: m })
+            .run_on(&arena, predictsim_sim::SimConfig { cluster: m })
             .unwrap();
         let result = TripleResult::from_sim(&triple, &sim);
         let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();

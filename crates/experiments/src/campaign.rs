@@ -9,7 +9,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use predictsim_metrics::DEFAULT_TAU;
-use predictsim_sim::SimResult;
+use predictsim_sim::{ClusterSpec, SimResult};
 use predictsim_workload::GeneratedWorkload;
 
 use crate::cache::SimCache;
@@ -160,7 +160,7 @@ impl CampaignResult {
 /// layer — are recalled instead of re-simulated).
 fn run_campaign_arena(
     log: &str,
-    machine_size: u32,
+    cluster: ClusterSpec,
     arena: &JobArena,
     triples: &[HeuristicTriple],
 ) -> CampaignResult {
@@ -169,14 +169,14 @@ fn run_campaign_arena(
         .par_iter()
         .map(|triple| {
             cache
-                .run_cell(arena, machine_size, triple)
+                .run_cell(arena, cluster, triple)
                 .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()))
                 .result
         })
         .collect();
     CampaignResult {
         log: log.to_string(),
-        machine_size,
+        machine_size: cluster.total_procs(),
         jobs: arena.len(),
         results,
     }
@@ -198,12 +198,23 @@ pub fn run_campaign_loaded(
     workload: &LoadedWorkload,
     triples: &[HeuristicTriple],
 ) -> CampaignResult {
-    run_campaign_arena(
-        &workload.name,
-        workload.machine_size,
-        &workload.jobs,
+    run_campaign_cluster(
+        workload,
+        ClusterSpec::single(workload.machine_size),
         triples,
     )
+}
+
+/// Runs `triples` on a loaded workload placed on an explicit
+/// [`ClusterSpec`] instead of the workload's own single machine — the
+/// heterogeneous campaign entry point. The result's `machine_size` is
+/// the cluster's total processor count.
+pub fn run_campaign_cluster(
+    workload: &LoadedWorkload,
+    cluster: ClusterSpec,
+    triples: &[HeuristicTriple],
+) -> CampaignResult {
+    run_campaign_arena(&workload.name, cluster, &workload.jobs, triples)
 }
 
 /// Loads `source` and runs `triples` on it: the one-call campaign for
@@ -382,6 +393,7 @@ pub fn run_campaign_pruned(
 ) -> PrunedCampaign {
     let cache = SimCache::global();
     let machine_size = workload.machine_size;
+    let cluster = ClusterSpec::single(machine_size);
     let arena = &workload.jobs;
 
     // Phase 1: exact exempt cells fix the threshold.
@@ -390,7 +402,7 @@ pub fn run_campaign_pruned(
         .par_iter()
         .map(|triple| {
             cache
-                .run_cell(arena, machine_size, triple)
+                .run_cell(arena, cluster, triple)
                 .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()))
                 .result
         })
@@ -413,14 +425,14 @@ pub fn run_campaign_pruned(
                 return ((*result).clone(), false);
             }
             // An exact memoized value beats an early-abort bound.
-            if let Some(cell) = cache.peek(arena, machine_size, triple) {
+            if let Some(cell) = cache.peek(arena, cluster, triple) {
                 return (cell.result, false);
             }
             let mut observer = PruneObserver::new(arena.len(), threshold);
             let outcome = crate::scenario::run_triple_with_scratch(
                 triple,
                 arena,
-                predictsim_sim::SimConfig { machine_size },
+                predictsim_sim::SimConfig { cluster },
                 &mut observer,
             );
             match outcome {
@@ -433,13 +445,7 @@ pub fn run_campaign_pruned(
                     let result = TripleResult::from_sim(triple, &sim);
                     let predictions: Vec<i64> =
                         sim.outcomes.iter().map(|o| o.initial_prediction).collect();
-                    cache.record_simulated(
-                        arena,
-                        machine_size,
-                        triple,
-                        result.clone(),
-                        predictions,
-                    );
+                    cache.record_simulated(arena, cluster, triple, result.clone(), predictions);
                     (result, false)
                 }
                 Err(predictsim_sim::SimError::Aborted { .. }) => {

@@ -145,7 +145,11 @@ fn run_technique(
         variant: Variant::EasySjbf,
     };
     let (_, predictions) = SimCache::global()
-        .run_cell_full(&workload.jobs, workload.machine_size, &triple)
+        .run_cell_full(
+            &workload.jobs,
+            predictsim_sim::ClusterSpec::single(workload.machine_size),
+            &triple,
+        )
         .expect("figure simulation failed");
     (label.to_string(), predictions)
 }

@@ -51,7 +51,9 @@ pub mod timing;
 pub mod triple;
 
 pub use cache::{CacheStats, CachedCell, SimCache};
-pub use campaign::{run_campaign, CampaignResult, TripleResult};
+pub use campaign::{
+    run_campaign, run_campaign_cluster, run_campaign_loaded, CampaignResult, TripleResult,
+};
 pub use context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
 pub use cv::{cross_validate, CvOutcome, CvRow};
 pub use registry::{

@@ -31,6 +31,7 @@ use std::str::FromStr;
 use predictsim_core::loss::{loss_shapes, AsymmetricLoss, BasisLoss};
 use predictsim_core::predictor::{ml_grid, BasisKind, MlConfig, OptimizerKind};
 use predictsim_core::weighting::WeightingScheme;
+use predictsim_sim::ClusterSpec;
 
 use crate::triple::{CorrectionKind, HeuristicTriple, PredictionTechnique, Variant};
 
@@ -52,6 +53,13 @@ pub enum RegistryError {
     },
     /// A heuristic-triple name missing its scheduler segment.
     MalformedTriple(String),
+    /// A `--cluster` spec that does not parse as a [`ClusterSpec`].
+    MalformedCluster {
+        /// The offending spec, as given.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -73,6 +81,13 @@ impl std::fmt::Display for RegistryError {
                 write!(
                     f,
                     "malformed triple {name:?}: expected <predictor>[+<correction>]+<scheduler>"
+                )
+            }
+            RegistryError::MalformedCluster { spec, reason } => {
+                write!(
+                    f,
+                    "malformed cluster {spec:?}: {reason} \
+                     (expected `<procs>` or `cluster:<size>[x<speed>][+<size>[x<speed>]...]`)"
                 )
             }
         }
@@ -262,6 +277,19 @@ pub fn parse_ml(spec: &str) -> Result<MlConfig, RegistryError> {
         }
     }
     Ok(config)
+}
+
+/// Parses a cluster spec — the legacy `"64"` shorthand or the
+/// `"cluster:64x1+32x0.5"` grammar (see [`ClusterSpec`]) — into a typed
+/// value, folding parse failures into a [`RegistryError`] like every
+/// other registry name. The parsed spec round-trips through
+/// [`ClusterSpec`]'s canonical `Display` form.
+pub fn parse_cluster(spec: &str) -> Result<ClusterSpec, RegistryError> {
+    spec.parse::<ClusterSpec>()
+        .map_err(|e| RegistryError::MalformedCluster {
+            spec: spec.to_string(),
+            reason: e.to_string(),
+        })
 }
 
 /// One registry row: a canonical policy name and a one-line description.
@@ -468,6 +496,46 @@ mod tests {
         ));
         let err = "sjf".parse::<Variant>().unwrap_err();
         assert!(err.to_string().contains("sjf"));
+    }
+
+    #[test]
+    fn cluster_specs_round_trip_through_the_registry() {
+        // Legacy shorthand: a bare processor count is the single
+        // homogeneous machine, displayed canonically as `cluster:<n>`.
+        let legacy = parse_cluster("64").unwrap();
+        assert_eq!(legacy, ClusterSpec::single(64));
+        assert_eq!(legacy.to_string(), "cluster:64");
+        assert_eq!(parse_cluster(&legacy.to_string()).unwrap(), legacy);
+        // Heterogeneous forms round-trip through the canonical display.
+        for spec in ["cluster:64x1+32x0.5", "cluster:16x2", "cluster:8+8+8"] {
+            let parsed = parse_cluster(spec).unwrap();
+            assert_eq!(parse_cluster(&parsed.to_string()).unwrap(), parsed);
+        }
+    }
+
+    #[test]
+    fn malformed_cluster_specs_give_typed_errors() {
+        for bad in [
+            "",
+            "cluster:",
+            "cluster:0",
+            "cluster:8x-1",
+            "cluster:8xfast",
+            "potato",
+        ] {
+            let err = parse_cluster(bad).unwrap_err();
+            assert!(
+                matches!(err, RegistryError::MalformedCluster { .. }),
+                "{bad:?} must be MalformedCluster, got {err:?}"
+            );
+            assert!(err.to_string().contains("malformed cluster"));
+        }
+        // Too many partitions is rejected, not truncated.
+        let wide = format!("cluster:{}", ["4"; 9].join("+"));
+        assert!(matches!(
+            parse_cluster(&wide),
+            Err(RegistryError::MalformedCluster { .. })
+        ));
     }
 
     #[test]

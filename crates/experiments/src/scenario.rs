@@ -35,7 +35,9 @@ use std::cell::RefCell;
 
 use predictsim_sim::observe::{NullObserver, SimObserver};
 use predictsim_sim::scheduler::Scheduler;
-use predictsim_sim::{simulate_in, ArenaStats, Job, SimArena, SimConfig, SimError, SimResult};
+use predictsim_sim::{
+    simulate_in, ArenaStats, ClusterSpec, Job, SimArena, SimConfig, SimError, SimResult,
+};
 
 use crate::registry::RegistryError;
 use crate::source::{LoadedWorkload, SourceError, WorkloadSource};
@@ -192,6 +194,7 @@ pub struct ScenarioBuilder {
     scheduler: Option<Spec<Variant>>,
     predictor: Option<Spec<PredictionTechnique>>,
     correction: Option<Spec<CorrectionKind>>,
+    cluster: Option<Spec<ClusterSpec>>,
     observer: Option<Box<dyn SimObserver + Send>>,
 }
 
@@ -242,6 +245,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Places the workload on an explicit cluster, given as a spec
+    /// string — the legacy `"64"` shorthand or the
+    /// `"cluster:64x1+32x0.5"` grammar (see
+    /// [`crate::registry::parse_cluster`]). Omit to run on the
+    /// workload's own single homogeneous machine.
+    pub fn cluster(mut self, spec: &str) -> Self {
+        self.cluster = Some(Spec::Named(spec.to_string()));
+        self
+    }
+
+    /// Places the workload on an explicit cluster by typed value.
+    pub fn cluster_spec(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(Spec::Typed(cluster));
+        self
+    }
+
     /// Sets the whole policy triple at once (scheduler, predictor, and
     /// correction taken from `triple`).
     pub fn triple(mut self, triple: &HeuristicTriple) -> Self {
@@ -282,6 +301,11 @@ impl ScenarioBuilder {
             Some(Spec::Typed(c)) => Some(c),
             Some(Spec::Named(name)) => Some(name.parse()?),
         };
+        let cluster = match self.cluster {
+            None => None,
+            Some(Spec::Typed(c)) => Some(c),
+            Some(Spec::Named(name)) => Some(crate::registry::parse_cluster(&name)?),
+        };
         Ok(Scenario {
             workload: Some(workload),
             triple: HeuristicTriple {
@@ -289,6 +313,7 @@ impl ScenarioBuilder {
                 correction,
                 variant,
             },
+            cluster,
             observer: self.observer,
         })
     }
@@ -301,6 +326,7 @@ impl std::fmt::Debug for ScenarioBuilder {
             .field("scheduler", &self.scheduler)
             .field("predictor", &self.predictor)
             .field("correction", &self.correction)
+            .field("cluster", &self.cluster)
             .field("observer", &self.observer.is_some())
             .finish()
     }
@@ -310,6 +336,7 @@ impl std::fmt::Debug for ScenarioBuilder {
 pub struct Scenario {
     workload: Option<Box<dyn WorkloadSource + Send>>,
     triple: HeuristicTriple,
+    cluster: Option<ClusterSpec>,
     observer: Option<Box<dyn SimObserver + Send>>,
 }
 
@@ -326,6 +353,7 @@ impl Scenario {
         Self {
             workload: None,
             triple: triple.clone(),
+            cluster: None,
             observer: None,
         }
     }
@@ -333,6 +361,12 @@ impl Scenario {
     /// The resolved policy triple.
     pub fn triple(&self) -> &HeuristicTriple {
         &self.triple
+    }
+
+    /// The cluster override, if one was set (`None` runs on the
+    /// workload's own single homogeneous machine).
+    pub fn cluster(&self) -> Option<ClusterSpec> {
+        self.cluster
     }
 
     /// The campaign-style display name, e.g.
@@ -364,7 +398,11 @@ impl Scenario {
     /// repeated runs are independent and deterministic.
     pub fn run(&mut self) -> Result<SimResult, ScenarioError> {
         let loaded = self.load_workload()?;
-        self.run_on(&loaded.jobs, loaded.sim_config())
+        let config = match self.cluster {
+            Some(cluster) => SimConfig { cluster },
+            None => loaded.sim_config(),
+        };
+        self.run_on(&loaded.jobs, config)
     }
 
     /// Runs the policy triple on externally managed jobs (already
@@ -390,6 +428,7 @@ impl std::fmt::Debug for Scenario {
         f.debug_struct("Scenario")
             .field("workload", &self.workload.as_ref().map(|w| w.describe()))
             .field("triple", &self.triple.name())
+            .field("cluster", &self.cluster)
             .field("observer", &self.observer.is_some())
             .finish()
     }
@@ -530,6 +569,65 @@ mod tests {
             .unwrap();
         assert_eq!(by_name.name(), typed.name());
         assert_eq!(by_name.run().unwrap(), typed.run().unwrap());
+    }
+
+    #[test]
+    fn explicit_legacy_cluster_is_byte_identical_to_default() {
+        // `--cluster 64` on a 64-processor workload must be the exact
+        // legacy single-machine run, byte for byte.
+        let mut plain = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 13))
+            .scheduler("easy-sjbf")
+            .predictor("ave2")
+            .correction("incremental")
+            .build()
+            .unwrap();
+        let mut pinned = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 13))
+            .scheduler("easy-sjbf")
+            .predictor("ave2")
+            .correction("incremental")
+            .cluster("64")
+            .build()
+            .unwrap();
+        assert_eq!(
+            pinned.cluster(),
+            Some(predictsim_sim::ClusterSpec::single(64))
+        );
+        assert_eq!(plain.run().unwrap(), pinned.run().unwrap());
+    }
+
+    #[test]
+    fn heterogeneous_cluster_runs_and_places_on_both_partitions() {
+        let mut scenario = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 17))
+            .scheduler("easy-sjbf")
+            .predictor("requested")
+            .cluster("cluster:64x1+32x0.5")
+            .build()
+            .unwrap();
+        let a = scenario.run().unwrap();
+        let b = scenario.run().unwrap();
+        assert_eq!(a, b, "hetero runs must be deterministic");
+        assert_eq!(a.machine_size, 96, "total processors across partitions");
+        assert!(a.outcomes.iter().all(|o| o.partition <= 1));
+        assert!(
+            a.outcomes.iter().any(|o| o.partition == 1),
+            "a loaded toy workload must spill onto the second partition"
+        );
+    }
+
+    #[test]
+    fn malformed_cluster_fails_at_build_time() {
+        let err = Scenario::builder()
+            .workload(SyntheticSource::new(tiny_spec(), 1))
+            .cluster("cluster:8xturbo")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Registry(RegistryError::MalformedCluster { .. })
+        ));
     }
 
     #[test]

@@ -197,9 +197,7 @@ pub struct LoadedWorkload {
 impl LoadedWorkload {
     /// The `SimConfig` for this workload's machine.
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig {
-            machine_size: self.machine_size,
-        }
+        SimConfig::single(self.machine_size)
     }
 }
 
@@ -451,7 +449,7 @@ mod tests {
         assert_eq!(loaded.machine_size, direct.machine_size);
         assert_eq!(loaded.name, direct.name);
         assert!(loaded.cleaning.is_none());
-        assert_eq!(loaded.sim_config().machine_size, direct.machine_size);
+        assert_eq!(loaded.sim_config().machine_size(), direct.machine_size);
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub fn table1(workloads: &[LoadedWorkload]) -> Vec<Table1Row> {
         .map(|w| {
             let cell = |triple: &HeuristicTriple| {
                 cache
-                    .run_cell(&w.jobs, w.machine_size, triple)
+                    .run_cell(
+                        &w.jobs,
+                        predictsim_sim::ClusterSpec::single(w.machine_size),
+                        triple,
+                    )
                     .expect("table 1 simulation failed")
                     .result
                     .ave_bsld
@@ -222,7 +226,11 @@ pub fn table8(workload: &LoadedWorkload) -> Vec<Table8Row> {
     .into_par_iter()
     .map(|(label, triple)| {
         let cell = cache
-            .run_cell(&workload.jobs, workload.machine_size, &triple)
+            .run_cell(
+                &workload.jobs,
+                predictsim_sim::ClusterSpec::single(workload.machine_size),
+                &triple,
+            )
             .expect("table 8 simulation failed");
         Table8Row {
             technique: label.to_string(),

@@ -304,7 +304,7 @@ mod tests {
                 swf_id: i as u64,
             })
             .collect();
-        let cfg = SimConfig { machine_size: 8 };
+        let cfg = SimConfig::single(8);
         for triple in [
             HeuristicTriple::standard_easy(),
             HeuristicTriple::easy_plus_plus(),

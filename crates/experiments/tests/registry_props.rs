@@ -5,11 +5,13 @@
 use proptest::prelude::*;
 
 use predictsim_experiments::registry::{
-    parse_ml, registered_corrections, registered_predictors, registered_schedulers, RegistryError,
+    parse_cluster, parse_ml, registered_corrections, registered_predictors, registered_schedulers,
+    RegistryError,
 };
 use predictsim_experiments::triple::{
     campaign_triples, CorrectionKind, HeuristicTriple, PredictionTechnique, Variant,
 };
+use predictsim_sim::{ClusterSpec, Partition};
 
 /// A strategy over arbitrary short names drawn from the characters policy
 /// names use (so collisions with real names are possible and filtered).
@@ -108,6 +110,54 @@ proptest! {
                 prop_assert_eq!(reparsed, t);
             }
             Err(_typed) => {} // any RegistryError variant is acceptable
+        }
+    }
+
+    /// Any valid cluster — 1 to 8 partitions, assorted sizes and speeds
+    /// (speed 1.0 included, so the legacy single-homogeneous display form
+    /// `cluster:<n>` is exercised) — round-trips through its canonical
+    /// `Display` form via the registry parser.
+    #[test]
+    fn cluster_specs_round_trip(
+        parts in prop::collection::vec((1u32..=512, 0usize..5), 1..9)
+    ) {
+        const SPEEDS: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
+        let partitions: Vec<Partition> = parts
+            .into_iter()
+            .map(|(size, speed)| Partition {
+                size,
+                speed: SPEEDS[speed],
+            })
+            .collect();
+        let spec = ClusterSpec::from_partitions(&partitions).expect("valid partitions");
+        let display = spec.to_string();
+        let reparsed = parse_cluster(&display).expect("canonical form parses");
+        prop_assert_eq!(reparsed, spec);
+        prop_assert_eq!(reparsed.to_string(), display);
+    }
+
+    /// The legacy shorthand — a bare processor count — always parses to
+    /// the single homogeneous machine.
+    #[test]
+    fn legacy_machine_size_shorthand_parses(procs in 1u32..1_000_000) {
+        let spec = parse_cluster(&procs.to_string()).expect("bare count parses");
+        prop_assert_eq!(spec, ClusterSpec::single(procs));
+        prop_assert!(spec.is_single_homogeneous());
+        prop_assert_eq!(parse_cluster(&spec.to_string()).expect("round trip"), spec);
+    }
+
+    /// Arbitrary strings never panic the cluster parser: they resolve to
+    /// a spec that round-trips, or fail with `MalformedCluster`.
+    #[test]
+    fn arbitrary_cluster_specs_parse_or_fail_typed(name in name_chars()) {
+        match parse_cluster(&name) {
+            Ok(spec) => {
+                prop_assert_eq!(parse_cluster(&spec.to_string()).expect("canonical"), spec);
+            }
+            Err(RegistryError::MalformedCluster { spec, .. }) => {
+                prop_assert_eq!(spec, name.clone());
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("wrong error {other:?}"))),
         }
     }
 

@@ -163,6 +163,7 @@ mod tests {
             initial_prediction: run,
             corrections: 0,
             killed: false,
+            partition: 0,
         }
     }
 

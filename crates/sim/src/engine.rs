@@ -35,6 +35,7 @@
 //! bundled policies do.
 
 use crate::arena::SimArena;
+use crate::cluster::ClusterSpec;
 use crate::event::EventKind;
 use crate::job::{Job, JobId};
 use crate::observe::{NullObserver, SimEvent, SimObserver};
@@ -47,8 +48,26 @@ use crate::time::Time;
 /// Configuration for one simulation run.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
-    /// Machine size `m` (processor count).
-    pub machine_size: u32,
+    /// The machine: one or more processor partitions (see
+    /// [`ClusterSpec`]). [`SimConfig::single`] builds the paper's
+    /// single homogeneous machine, on which every simulation is
+    /// byte-identical to the pre-cluster engine.
+    pub cluster: ClusterSpec,
+}
+
+impl SimConfig {
+    /// The legacy configuration: one homogeneous partition of
+    /// `machine_size` processors at speed 1.0.
+    pub fn single(machine_size: u32) -> Self {
+        Self {
+            cluster: ClusterSpec::single(machine_size),
+        }
+    }
+
+    /// Total processors across all partitions (the legacy `m`).
+    pub fn machine_size(&self) -> u32 {
+        self.cluster.total_procs()
+    }
 }
 
 /// Errors detected before or during simulation. These all indicate misuse
@@ -201,7 +220,10 @@ pub fn simulate_in(
 /// batches).
 struct Engine<'a> {
     jobs: &'a [Job],
-    machine_size: u32,
+    cluster: ClusterSpec,
+    /// Total processors across the cluster (the `m` of SystemView and
+    /// aggregate metrics).
+    total_procs: u32,
     arena: &'a mut SimArena,
 }
 
@@ -215,9 +237,7 @@ impl<'a> Engine<'a> {
         user_index: bool,
     ) -> Result<Self, SimError> {
         validate_workload(jobs, config)?;
-        arena
-            .state
-            .reset(config.machine_size, jobs.len(), user_index);
+        arena.state.reset(config.cluster, jobs.len(), user_index);
         arena.events.reset_from_schedule(
             jobs.iter()
                 .map(|job| (job.submit, EventKind::Submit(job.id))),
@@ -230,9 +250,31 @@ impl<'a> Engine<'a> {
         arena.starts.clear();
         Ok(Self {
             jobs,
-            machine_size: config.machine_size,
+            cluster: config.cluster,
+            total_procs: config.cluster.total_procs(),
             arena,
         })
+    }
+
+    /// The wall-clock running time the platform grants `job` on
+    /// `partition`: the partition-speed-scaled actual running time,
+    /// capped at the (unscaled, wall-clock) requested time — the §2.1
+    /// kill rule generalized to heterogeneous partitions. On a
+    /// speed-1.0 partition this is exactly [`Job::granted_run`].
+    #[inline]
+    fn granted_run_on(&self, job: &Job, partition: u32) -> i64 {
+        self.cluster
+            .part(partition as usize)
+            .scaled_run(job.run)
+            .min(job.requested)
+    }
+
+    /// Whether `job` hits its requested-time bound on `partition` and is
+    /// killed there. On a speed-1.0 partition this is exactly
+    /// [`Job::is_killed`].
+    #[inline]
+    fn is_killed_on(&self, job: &Job, partition: u32) -> bool {
+        self.cluster.part(partition as usize).scaled_run(job.run) > job.requested
     }
 
     /// Drives the event loop to completion.
@@ -267,29 +309,45 @@ impl<'a> Engine<'a> {
                 return Err(SimError::Aborted { at: now });
             }
 
-            // Skip the pass when it provably cannot start anything: no
-            // candidates, or no processor for even the smallest job.
+            // Skip the instant when it provably cannot start anything: no
+            // candidates, or no processor anywhere for even the smallest
+            // job.
             if self.arena.state.queue_is_empty() || self.arena.state.free() == 0 {
                 continue;
             }
-            let mut starts = std::mem::take(&mut self.arena.starts);
-            starts.clear();
-            scheduler.schedule_into(
-                &SchedulerContext {
-                    now,
-                    machine_size: self.machine_size,
-                    free: self.arena.state.free(),
-                    queue: self.arena.state.queue(),
-                    running: self.arena.state.running(),
-                    releases: self.arena.state.releases(),
-                    shortest_first: self.arena.state.shortest_first(),
-                },
-                &mut starts,
-            );
-            let applied = self.apply_starts(&starts, now, observer);
-            self.arena.starts = starts;
-            applied?;
-            self.arena.state.compact_queue();
+            // Routing loop: one scheduler pass per partition, first-fit
+            // in partition order. Each pass sees the queue left over by
+            // the previous partitions' starts (the queue is compacted
+            // between passes), so earlier partitions get first pick and
+            // placement is deterministic. On the legacy single-partition
+            // cluster this is exactly one pass — the pre-cluster engine.
+            for partition in 0..self.cluster.len() as u32 {
+                if self.arena.state.queue_is_empty() {
+                    break;
+                }
+                if self.arena.state.free_in(partition) == 0 {
+                    continue;
+                }
+                let mut starts = std::mem::take(&mut self.arena.starts);
+                starts.clear();
+                scheduler.schedule_into(
+                    &SchedulerContext {
+                        now,
+                        partition,
+                        machine_size: self.cluster.part(partition as usize).size,
+                        free: self.arena.state.free_in(partition),
+                        queue: self.arena.state.queue(),
+                        running: self.arena.state.running(),
+                        releases: self.arena.state.releases_in(partition),
+                        shortest_first: self.arena.state.shortest_first(),
+                    },
+                    &mut starts,
+                );
+                let applied = self.apply_starts(&starts, now, partition, observer);
+                self.arena.starts = starts;
+                applied?;
+                self.arena.state.compact_queue();
+            }
         }
 
         // Every running job holds a pending Finish event, so the running
@@ -317,7 +375,7 @@ impl<'a> Engine<'a> {
             .collect();
 
         let result = SimResult {
-            machine_size: self.machine_size,
+            machine_size: self.total_procs,
             outcomes,
             scheduler: scheduler.name(),
             predictor: predictor.name(),
@@ -342,6 +400,8 @@ impl<'a> Engine<'a> {
                 let Some(r) = self.arena.state.finish(id) else {
                     unreachable!("finish event for job that is not running");
                 };
+                let granted = self.granted_run_on(job, r.partition);
+                let killed = self.is_killed_on(job, r.partition);
                 let slot = &mut self.arena.outcomes[id.index()];
                 debug_assert!(slot.is_none(), "{id} finished twice");
                 let outcome = slot.insert(JobOutcome {
@@ -352,20 +412,21 @@ impl<'a> Engine<'a> {
                     submit: job.submit,
                     start: r.start,
                     end: now,
-                    run: job.granted_run(),
+                    run: granted,
                     requested: job.requested,
                     initial_prediction: self.arena.initial_predictions[id.index()],
                     corrections: r.corrections,
-                    killed: job.is_killed(),
+                    killed,
+                    partition: r.partition,
                 });
                 observer.on_event(&SimEvent::Finished { outcome });
                 let view = SystemView {
                     now,
-                    machine_size: self.machine_size,
+                    machine_size: self.total_procs,
                     running: self.arena.state.running(),
                     user_running: self.arena.state.user_running(),
                 };
-                predictor.observe(job, job.granted_run(), &view);
+                predictor.observe(job, granted, &view);
             }
             EventKind::PredictionExpiry(id, generation) => {
                 let Some(index) = self.arena.state.running_index(id) else {
@@ -385,7 +446,7 @@ impl<'a> Engine<'a> {
                 let new_pred = clamp_correction(raw, elapsed, job.requested);
                 let new_end = r.start.plus(new_pred);
                 let generation = self.arena.state.apply_correction(index, new_end);
-                let finish_at = r.start.plus(job.granted_run());
+                let finish_at = r.start.plus(self.granted_run_on(job, r.partition));
                 if new_end < finish_at {
                     self.arena
                         .events
@@ -403,7 +464,7 @@ impl<'a> Engine<'a> {
                 let job = &self.jobs[id.index()];
                 let view = SystemView {
                     now,
-                    machine_size: self.machine_size,
+                    machine_size: self.total_procs,
                     running: self.arena.state.running(),
                     user_running: self.arena.state.user_running(),
                 };
@@ -427,11 +488,13 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Validates and applies one pass's start decisions.
+    /// Validates and applies one pass's start decisions, placing every
+    /// started job on `partition`.
     fn apply_starts(
         &mut self,
         starts: &[JobId],
         now: Time,
+        partition: u32,
         observer: &mut dyn SimObserver,
     ) -> Result<(), SimError> {
         for &id in starts {
@@ -441,18 +504,18 @@ impl<'a> Engine<'a> {
                 });
             };
             let w = *self.arena.state.waiting_at(index);
-            if w.procs > self.arena.state.free() {
+            if w.procs > self.arena.state.free_in(partition) {
                 return Err(SimError::SchedulerViolation {
                     message: format!(
-                        "{id} needs {} procs but only {} are free",
+                        "{id} needs {} procs but only {} are free in partition {partition}",
                         w.procs,
-                        self.arena.state.free()
+                        self.arena.state.free_in(partition)
                     ),
                 });
             }
             let job = &self.jobs[id.index()];
             let predicted_end = now.plus(w.predicted);
-            let finish_at = now.plus(job.granted_run());
+            let finish_at = now.plus(self.granted_run_on(job, partition));
             self.arena.state.start(
                 index,
                 RunningJob {
@@ -463,6 +526,7 @@ impl<'a> Engine<'a> {
                     deadline: now.plus(job.requested),
                     user: w.user,
                     corrections: 0,
+                    partition,
                 },
             );
             self.arena.events.push(finish_at, EventKind::Finish(id));
@@ -489,11 +553,11 @@ fn validate_workload(jobs: &[Job], config: SimConfig) -> Result<(), SimError> {
         if let Err(message) = job.validate() {
             return Err(SimError::InvalidJob { message });
         }
-        if job.procs > config.machine_size {
+        if job.procs > config.cluster.max_partition_size() {
             return Err(SimError::JobTooLarge {
                 id: job.id,
                 procs: job.procs,
-                machine: config.machine_size,
+                machine: config.cluster.max_partition_size(),
             });
         }
         if i > 0 && jobs[i - 1].submit > job.submit {
@@ -540,7 +604,7 @@ mod tests {
     }
 
     fn config(m: u32) -> SimConfig {
-        SimConfig { machine_size: m }
+        SimConfig::single(m)
     }
 
     #[test]

@@ -60,6 +60,23 @@ impl Hasher for FxHasher {
 /// `BuildHasher` plugging [`FxHasher`] into `std` collections.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// FNV-1a over a byte slice — the stable content-fingerprint hash used
+/// for identities that must survive process boundaries (e.g.
+/// [`crate::cluster::ClusterSpec::fingerprint`], and the experiment
+/// layer's workload fingerprints). Unlike [`FxHasher`] it has a
+/// published fixed definition, so fingerprints are comparable across
+/// builds.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 

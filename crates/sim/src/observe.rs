@@ -37,7 +37,7 @@
 //! let mut metrics = MetricsObserver::new(4);
 //! let result = simulate_observed(
 //!     &jobs,
-//!     SimConfig { machine_size: 4 },
+//!     SimConfig::single(4),
 //!     &mut EasyScheduler::new(),
 //!     &mut RequestedTimePredictor,
 //!     None,
@@ -366,7 +366,7 @@ mod tests {
         };
         simulate_observed(
             &js,
-            SimConfig { machine_size: 4 },
+            SimConfig::single(4),
             &mut EasyScheduler::new(),
             &mut RequestedTimePredictor,
             None,
@@ -379,8 +379,8 @@ mod tests {
     #[test]
     fn metrics_observer_matches_post_hoc_scan() {
         let js = jobs(20);
-        let cfg = SimConfig { machine_size: 5 };
-        let mut metrics = MetricsObserver::new(cfg.machine_size);
+        let cfg = SimConfig::single(5);
+        let mut metrics = MetricsObserver::new(cfg.machine_size());
         let observed = simulate_observed(
             &js,
             cfg,
@@ -443,7 +443,7 @@ mod tests {
         };
         simulate_observed(
             &js,
-            SimConfig { machine_size: 2 },
+            SimConfig::single(2),
             &mut EasyScheduler::new(),
             &mut Ten,
             Some(&corr),
@@ -456,8 +456,8 @@ mod tests {
     #[test]
     fn shared_metrics_handle_reads_after_run() {
         let js = jobs(8);
-        let cfg = SimConfig { machine_size: 4 };
-        let (handle, mut observer) = MetricsObserver::shared(cfg.machine_size);
+        let cfg = SimConfig::single(4);
+        let (handle, mut observer) = MetricsObserver::shared(cfg.machine_size());
         simulate_observed(
             &js,
             cfg,

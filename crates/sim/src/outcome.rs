@@ -32,6 +32,9 @@ pub struct JobOutcome {
     pub corrections: u32,
     /// Whether the job hit its requested-time bound and was killed.
     pub killed: bool,
+    /// The cluster partition the job ran on (0 on a single-partition
+    /// machine) — see [`crate::cluster::ClusterSpec`].
+    pub partition: u32,
 }
 
 impl JobOutcome {
@@ -176,6 +179,7 @@ mod tests {
             initial_prediction: run,
             corrections: 0,
             killed: false,
+            partition: 0,
         }
     }
 

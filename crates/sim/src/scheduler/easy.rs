@@ -254,8 +254,12 @@ impl Scheduler for EasyScheduler {
                     // order, unstable sort, per-release walk).
                     self.stats.slow_passes += 1;
                     self.fallback.clear();
-                    self.fallback
-                        .extend(ctx.running.iter().map(|r| (r.predicted_end, r.procs)));
+                    self.fallback.extend(
+                        ctx.running
+                            .iter()
+                            .filter(|r| r.partition == ctx.partition)
+                            .map(|r| (r.predicted_end, r.procs)),
+                    );
                     self.fallback.extend(
                         ctx.queue[..head_idx]
                             .iter()

@@ -25,7 +25,7 @@ pub use conservative::ConservativeScheduler;
 pub use easy::{BackfillOrder, EasyScheduler};
 pub use fcfs::FcfsScheduler;
 pub use profile::{ReleasePoint, ReleaseSet};
-pub use reference::{ReferenceConservative, ReferenceEasy};
+pub use reference::{ReferenceConservative, ReferenceEasy, ReferenceHetero};
 
 use crate::job::JobId;
 use crate::state::SchedulerContext;
@@ -39,9 +39,14 @@ pub trait Scheduler {
     ///
     /// Invariants the engine guarantees on `ctx`: the queue is in FCFS
     /// (submit, id) order; every running job's `predicted_end` is `> now`;
-    /// `free` equals `machine_size` minus the processors held by
-    /// `running`; `releases` aggregates exactly the running jobs'
-    /// `(predicted_end, procs)`.
+    /// `free` equals `machine_size` (the partition size) minus the
+    /// processors held by the `running` jobs on `ctx.partition`;
+    /// `releases` aggregates exactly those jobs'
+    /// `(predicted_end, procs)`. On a multi-partition cluster the engine
+    /// calls the scheduler once per partition in first-fit order (see
+    /// [`crate::cluster::ClusterSpec`]); implementations that read
+    /// `ctx.running` directly must filter it by
+    /// [`crate::state::RunningJob::partition`].
     ///
     /// The engine **skips** passes that provably cannot start anything
     /// (empty queue, or zero free processors — every valid job needs at
@@ -98,7 +103,7 @@ pub(crate) mod testutil {
         }
     }
 
-    /// Builds a running job.
+    /// Builds a running job (on partition 0).
     pub fn running(id: u32, procs: u32, start: i64, predicted_end: i64) -> RunningJob {
         RunningJob {
             id: JobId(id),
@@ -108,6 +113,7 @@ pub(crate) mod testutil {
             deadline: Time(predicted_end + 100_000),
             user: 1,
             corrections: 0,
+            partition: 0,
         }
     }
 
@@ -123,6 +129,7 @@ pub(crate) mod testutil {
         let used: u32 = running.iter().map(|r| r.procs).sum();
         SchedulerContext {
             now: Time(now),
+            partition: 0,
             machine_size: machine,
             free: machine - used,
             queue,

@@ -14,11 +14,12 @@
 //! [`crate::scheduler::EasyScheduler`] /
 //! [`crate::scheduler::ConservativeScheduler`] for real runs.
 
+use crate::cluster::ClusterSpec;
 use crate::job::JobId;
 use crate::scheduler::easy::{head_reservation, BackfillOrder, Reservation};
-use crate::scheduler::profile::Profile;
+use crate::scheduler::profile::{Profile, ReleaseSet};
 use crate::scheduler::Scheduler;
-use crate::state::{RunningJob, SchedulerContext, WaitingJob};
+use crate::state::{sorted_shortest_first, RunningJob, SchedulerContext, WaitingJob};
 use crate::time::Time;
 
 /// The from-scratch EASY oracle (optionally SJBF-ordered), bit-equal to
@@ -65,6 +66,7 @@ impl Scheduler for ReferenceEasy {
         let mut releases: Vec<(Time, u32)> = ctx
             .running
             .iter()
+            .filter(|r| r.partition == ctx.partition)
             .map(|r: &RunningJob| (r.predicted_end, r.procs))
             .chain(
                 ctx.queue[..head_idx]
@@ -130,6 +132,79 @@ impl Scheduler for ReferenceConservative {
 
     fn name(&self) -> String {
         "reference-conservative".into()
+    }
+}
+
+/// Brute-force oracle for the engine's heterogeneous routing policy:
+/// first-fit by partition order, then per-partition EASY (optionally
+/// SJBF) — see [`ClusterSpec`]. Rebuilds every per-partition view from
+/// scratch (filtered running vectors, fresh release sets, re-sorted
+/// shortest-first), so it is *obviously* the routing loop's semantics;
+/// the property tests assert the production engine produces identical
+/// `(job, partition)` placements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceHetero {
+    /// Backfill candidate ordering of the per-partition EASY passes.
+    pub order: BackfillOrder,
+}
+
+impl ReferenceHetero {
+    /// First-fit routing over per-partition plain EASY.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// First-fit routing over per-partition EASY-SJBF.
+    pub fn sjbf() -> Self {
+        Self {
+            order: BackfillOrder::ShortestFirst,
+        }
+    }
+
+    /// One scheduling instant: the `(job, partition)` placements the
+    /// engine's routing loop makes at `now`, given the global FCFS
+    /// `queue` and the cluster-wide `running` set (each running job
+    /// tagged with its partition).
+    pub fn schedule(
+        &self,
+        now: Time,
+        cluster: ClusterSpec,
+        queue: &[WaitingJob],
+        running: &[RunningJob],
+    ) -> Vec<(JobId, u32)> {
+        let mut placements = Vec::new();
+        let mut remaining: Vec<WaitingJob> = queue.to_vec();
+        for (p, part) in cluster.partitions().iter().enumerate() {
+            if remaining.is_empty() {
+                break;
+            }
+            let local: Vec<RunningJob> = running
+                .iter()
+                .filter(|r| r.partition as usize == p)
+                .copied()
+                .collect();
+            let used: u32 = local.iter().map(|r| r.procs).sum();
+            let free = part.size - used;
+            if free == 0 {
+                continue;
+            }
+            let releases = ReleaseSet::from_running(&local);
+            let shortest = sorted_shortest_first(&remaining);
+            let ctx = SchedulerContext {
+                now,
+                partition: p as u32,
+                machine_size: part.size,
+                free,
+                queue: &remaining,
+                running: &local,
+                releases: &releases,
+                shortest_first: &shortest,
+            };
+            let starts = ReferenceEasy { order: self.order }.schedule(&ctx);
+            placements.extend(starts.iter().map(|&id| (id, p as u32)));
+            remaining.retain(|w| !starts.contains(&w.id));
+        }
+        placements
     }
 }
 

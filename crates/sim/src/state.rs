@@ -13,6 +13,7 @@
 //! decisions, which keeps every policy a (mostly) pure function that is
 //! easy to unit-test in isolation.
 
+use crate::cluster::{ClusterSpec, MAX_PARTITIONS};
 use crate::hash::FxHashMap;
 use crate::job::JobId;
 use crate::scheduler::profile::ReleaseSet;
@@ -55,6 +56,9 @@ pub struct RunningJob {
     pub user: u32,
     /// How many corrections (§5.2) this job has received so far.
     pub corrections: u32,
+    /// The cluster partition the job was placed on (0 on the legacy
+    /// single-partition machine).
+    pub partition: u32,
 }
 
 impl RunningJob {
@@ -132,22 +136,33 @@ impl UserRunning {
 }
 
 /// Snapshot handed to a [`crate::scheduler::Scheduler`] for one pass.
+///
+/// One pass schedules **one partition**: `machine_size`, `free` and
+/// `releases` are scoped to `partition`, while `queue`, `running` and
+/// `shortest_first` are cluster-global (schedulers that read `running`
+/// must filter by [`RunningJob::partition`]). On the legacy
+/// single-partition machine the scoped and global views coincide.
 #[derive(Debug)]
 pub struct SchedulerContext<'a> {
     /// Current simulation time.
     pub now: Time,
-    /// Machine size `m`.
+    /// The partition this pass places jobs onto.
+    pub partition: u32,
+    /// Size of this partition (the legacy machine size `m` when the
+    /// cluster has one partition).
     pub machine_size: u32,
-    /// Processors currently idle.
+    /// Processors currently idle *in this partition*.
     pub free: u32,
-    /// Waiting queue in FCFS (arrival) order.
+    /// Waiting queue in FCFS (arrival) order (cluster-global).
     pub queue: &'a [WaitingJob],
-    /// Running jobs, unordered.
+    /// Running jobs, unordered (cluster-global — filter by
+    /// [`RunningJob::partition`] for per-partition reasoning).
     pub running: &'a [RunningJob],
-    /// Incrementally maintained aggregate of the running jobs' future
-    /// capacity releases (sorted by predicted end). Invariant: its
-    /// aggregated contents equal the multiset of
-    /// `(predicted_end, procs)` over `running`.
+    /// Incrementally maintained aggregate of *this partition's* running
+    /// jobs' future capacity releases (sorted by predicted end).
+    /// Invariant: its aggregated contents equal the multiset of
+    /// `(predicted_end, procs)` over the running jobs with
+    /// `partition == ctx.partition`.
     pub releases: &'a ReleaseSet,
     /// Queue positions sorted by `(predicted, submit, id)` — the
     /// shortest-job-first view of `queue`, maintained incrementally (a
@@ -187,12 +202,18 @@ pub enum Slot {
 /// asserts no starts are pending.
 #[derive(Debug, Clone)]
 pub struct SimState {
-    machine_size: u32,
-    free: u32,
+    cluster: ClusterSpec,
+    /// Idle processors per partition (entries past the cluster length
+    /// are unused and zero).
+    free: [u32; MAX_PARTITIONS],
+    /// Idle processors across all partitions.
+    total_free: u32,
     queue: Vec<WaitingJob>,
     running: Vec<RunningJob>,
     slots: Vec<Slot>,
-    releases: ReleaseSet,
+    /// One release aggregate per partition (extra entries from a wider
+    /// earlier run are kept empty for scratch reuse).
+    releases: Vec<ReleaseSet>,
     /// Queue positions sorted by `(predicted, submit, id)`.
     shortest_first: Vec<u32>,
     /// Old-position → new-position scratch for queue compaction.
@@ -229,41 +250,65 @@ pub fn sorted_shortest_first(queue: &[WaitingJob]) -> Vec<u32> {
 }
 
 impl SimState {
-    /// Fresh state for `jobs` jobs on a `machine_size`-processor machine.
+    /// Fresh state for `jobs` jobs on a single-partition
+    /// `machine_size`-processor machine (the legacy constructor).
     pub fn new(machine_size: u32, jobs: usize) -> Self {
-        Self {
-            machine_size,
-            free: machine_size,
+        Self::new_cluster(ClusterSpec::single(machine_size), jobs)
+    }
+
+    /// Fresh state for `jobs` jobs on `cluster`.
+    pub fn new_cluster(cluster: ClusterSpec, jobs: usize) -> Self {
+        let mut state = Self {
+            cluster,
+            free: [0; MAX_PARTITIONS],
+            total_free: 0,
             queue: Vec::new(),
             running: Vec::new(),
             slots: vec![Slot::Unsubmitted; jobs],
-            releases: ReleaseSet::new(),
+            releases: Vec::new(),
             shortest_first: Vec::new(),
             remap: Vec::new(),
             user_running: UserRunning::default(),
             user_index_enabled: true,
             pending_starts: 0,
+        };
+        state.reset_capacity(cluster);
+        state
+    }
+
+    /// (Re)derives the per-partition free counters and release sets from
+    /// `cluster`, keeping release-set capacity.
+    fn reset_capacity(&mut self, cluster: ClusterSpec) {
+        self.cluster = cluster;
+        self.free = [0; MAX_PARTITIONS];
+        for (i, p) in cluster.partitions().iter().enumerate() {
+            self.free[i] = p.size;
+        }
+        self.total_free = cluster.total_procs();
+        while self.releases.len() < cluster.len() {
+            self.releases.push(ReleaseSet::new());
+        }
+        for set in &mut self.releases {
+            set.clear();
         }
     }
 
-    /// Re-initializes this state for a fresh run of `jobs` jobs on a
-    /// `machine_size`-processor machine, keeping every buffer's capacity
-    /// (the cross-simulation scratch-reuse seam — see
-    /// [`crate::arena::SimArena`]). `user_index` controls whether the
-    /// per-user running index is maintained for this run.
-    pub fn reset(&mut self, machine_size: u32, jobs: usize, user_index: bool) {
+    /// Re-initializes this state for a fresh run of `jobs` jobs on
+    /// `cluster`, keeping every buffer's capacity (the cross-simulation
+    /// scratch-reuse seam — see [`crate::arena::SimArena`]).
+    /// `user_index` controls whether the per-user running index is
+    /// maintained for this run.
+    pub fn reset(&mut self, cluster: ClusterSpec, jobs: usize, user_index: bool) {
         self.user_index_enabled = user_index;
-        self.machine_size = machine_size;
-        self.free = machine_size;
         self.queue.clear();
         self.running.clear();
         self.slots.clear();
         self.slots.resize(jobs, Slot::Unsubmitted);
-        self.releases.clear();
         self.shortest_first.clear();
         self.remap.clear();
         self.user_running.clear();
         self.pending_starts = 0;
+        self.reset_capacity(cluster);
     }
 
     /// Total capacity (in elements) of the owned buffers — the
@@ -272,7 +317,11 @@ impl SimState {
         self.queue.capacity()
             + self.running.capacity()
             + self.slots.capacity()
-            + self.releases.capacity()
+            + self
+                .releases
+                .iter()
+                .map(ReleaseSet::capacity)
+                .sum::<usize>()
             + self.shortest_first.capacity()
             + self.remap.capacity()
             + self.user_running.capacity()
@@ -284,14 +333,25 @@ impl SimState {
         (w.predicted, w.submit, w.id)
     }
 
-    /// Machine size `m`.
-    pub fn machine_size(&self) -> u32 {
-        self.machine_size
+    /// The cluster this state simulates.
+    pub fn cluster(&self) -> ClusterSpec {
+        self.cluster
     }
 
-    /// Processors currently idle.
+    /// Total processors across all partitions (the legacy machine size
+    /// `m` on a single-partition cluster).
+    pub fn machine_size(&self) -> u32 {
+        self.cluster.total_procs()
+    }
+
+    /// Processors currently idle across all partitions.
     pub fn free(&self) -> u32 {
-        self.free
+        self.total_free
+    }
+
+    /// Processors currently idle in `partition`.
+    pub fn free_in(&self, partition: u32) -> u32 {
+        self.free[partition as usize]
     }
 
     /// The waiting queue in FCFS order.
@@ -323,9 +383,17 @@ impl SimState {
         &self.running
     }
 
-    /// The incrementally maintained release aggregate.
+    /// The incrementally maintained release aggregate of partition 0 —
+    /// the whole machine's aggregate on the legacy single-partition
+    /// cluster (single-partition convenience; use
+    /// [`SimState::releases_in`] on multi-partition clusters).
     pub fn releases(&self) -> &ReleaseSet {
-        &self.releases
+        &self.releases[0]
+    }
+
+    /// The incrementally maintained release aggregate of `partition`.
+    pub fn releases_in(&self, partition: u32) -> &ReleaseSet {
+        &self.releases[partition as usize]
     }
 
     /// The incrementally maintained per-user view of the running set,
@@ -406,10 +474,19 @@ impl SimState {
         let w = self.queue[queue_index];
         debug_assert_eq!(w.id, r.id, "start() running job mismatches queue entry");
         debug_assert_eq!(self.slots[w.id.index()], Slot::Waiting(queue_index as u32));
-        debug_assert!(r.procs <= self.free, "start() over-commits the machine");
-        self.free -= r.procs;
+        let partition = r.partition as usize;
+        debug_assert!(
+            partition < self.cluster.len(),
+            "start() on unknown partition"
+        );
+        debug_assert!(
+            r.procs <= self.free[partition],
+            "start() over-commits partition {partition}"
+        );
+        self.free[partition] -= r.procs;
+        self.total_free -= r.procs;
         self.slots[w.id.index()] = Slot::Running(self.running.len() as u32);
-        self.releases.add(r.predicted_end.0, r.procs);
+        self.releases[partition].add(r.predicted_end.0, r.procs);
         if self.user_index_enabled {
             self.user_running.add(r.user, r.procs, r.start);
         }
@@ -458,8 +535,9 @@ impl SimState {
             self.slots[moved.index()] = Slot::Running(index as u32);
         }
         self.slots[id.index()] = Slot::Finished;
-        self.free += r.procs;
-        self.releases.remove(r.predicted_end.0, r.procs);
+        self.free[r.partition as usize] += r.procs;
+        self.total_free += r.procs;
+        self.releases[r.partition as usize].remove(r.predicted_end.0, r.procs);
         if self.user_index_enabled {
             self.user_running.remove(r.user, r.procs, r.start);
         }
@@ -471,8 +549,7 @@ impl SimState {
     /// counter. Returns the new generation.
     pub fn apply_correction(&mut self, running_index: usize, new_predicted_end: Time) -> u32 {
         let r = &mut self.running[running_index];
-        self.releases
-            .shift(r.predicted_end.0, new_predicted_end.0, r.procs);
+        self.releases[r.partition as usize].shift(r.predicted_end.0, new_predicted_end.0, r.procs);
         r.predicted_end = new_predicted_end;
         r.corrections += 1;
         r.corrections
@@ -519,15 +596,34 @@ impl SimState {
         assert_eq!(running, self.running.len(), "slot map counts extra runners");
         let used: u32 = self.running.iter().map(|r| r.procs).sum();
         assert_eq!(
-            self.free,
-            self.machine_size - used,
-            "free-processor accounting drifted"
+            self.total_free,
+            self.cluster.total_procs() - used,
+            "total free-processor accounting drifted"
         );
-        assert_eq!(
-            self.releases,
-            ReleaseSet::from_running(&self.running),
-            "release set drifted from the running set"
-        );
+        for (p, part) in self.cluster.partitions().iter().enumerate() {
+            let used_in: u32 = self
+                .running
+                .iter()
+                .filter(|r| r.partition as usize == p)
+                .map(|r| r.procs)
+                .sum();
+            assert_eq!(
+                self.free[p],
+                part.size - used_in,
+                "partition {p} free-processor accounting drifted"
+            );
+            let filtered: Vec<RunningJob> = self
+                .running
+                .iter()
+                .filter(|r| r.partition as usize == p)
+                .copied()
+                .collect();
+            assert_eq!(
+                self.releases[p],
+                ReleaseSet::from_running(&filtered),
+                "partition {p} release set drifted from the running set"
+            );
+        }
         assert_eq!(
             self.shortest_first,
             sorted_shortest_first(&self.queue),
@@ -605,6 +701,7 @@ mod tests {
             deadline: Time(pend + 1000),
             user,
             corrections: 0,
+            partition: 0,
         }
     }
 
@@ -636,6 +733,7 @@ mod tests {
             deadline: Time(pend + 1_000),
             user: 1,
             corrections: 0,
+            partition: 0,
         }
     }
 

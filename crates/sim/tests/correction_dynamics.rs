@@ -60,7 +60,7 @@ fn corrections_fire_in_sequence_until_the_job_ends() {
     let mut pred = Fixed(100.0);
     let res = simulate(
         &jobs,
-        SimConfig { machine_size: 4 },
+        SimConfig::single(4),
         &mut EasyScheduler::new(),
         &mut pred,
         Some(&corr),
@@ -93,7 +93,7 @@ fn correction_output_is_clamped_to_requested() {
     let mut pred = Fixed(10.0);
     let res = simulate(
         &jobs,
-        SimConfig { machine_size: 4 },
+        SimConfig::single(4),
         &mut EasyScheduler::new(),
         &mut pred,
         Some(&Absurd),
@@ -122,7 +122,7 @@ fn correction_below_elapsed_is_raised() {
     let mut pred = Fixed(10.0);
     let res = simulate(
         &jobs,
-        SimConfig { machine_size: 4 },
+        SimConfig::single(4),
         &mut EasyScheduler::new(),
         &mut pred,
         Some(&Broken),
@@ -155,7 +155,7 @@ fn underprediction_can_delay_a_reservation_the_starvation_hazard() {
     };
     let res_under = simulate(
         &jobs,
-        SimConfig { machine_size: 4 },
+        SimConfig::single(4),
         &mut EasyScheduler::new(),
         &mut under,
         Some(&corr),
@@ -165,7 +165,7 @@ fn underprediction_can_delay_a_reservation_the_starvation_hazard() {
     let mut exact = predictsim_sim::predict::ClairvoyantPredictor;
     let res_exact = simulate(
         &jobs,
-        SimConfig { machine_size: 4 },
+        SimConfig::single(4),
         &mut EasyScheduler::new(),
         &mut exact,
         None,
@@ -193,7 +193,7 @@ fn overprediction_never_triggers_corrections() {
     let mut pred = Fixed(50_000.0);
     let res = simulate(
         &jobs,
-        SimConfig { machine_size: 4 },
+        SimConfig::single(4),
         &mut EasyScheduler::new(),
         &mut pred,
         Some(&corr),

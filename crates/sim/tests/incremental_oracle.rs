@@ -50,6 +50,7 @@ fn running(id: u32, procs: u32, predicted_end: i64) -> RunningJob {
         deadline: Time(predicted_end + 100_000),
         user: 1,
         corrections: 0,
+        partition: 0,
     }
 }
 
@@ -99,6 +100,7 @@ fn ctx_of<'a>(
     let used: u32 = snapshot.running.iter().map(|r| r.procs).sum();
     SchedulerContext {
         now: Time(0),
+        partition: 0,
         machine_size: MACHINE,
         free: MACHINE - used,
         queue: &snapshot.queue,
@@ -185,6 +187,7 @@ proptest! {
                             deadline: Time(100_000),
                             user: w.user,
                             corrections: 0,
+                            partition: 0,
                         });
                         state.compact_queue();
                     }

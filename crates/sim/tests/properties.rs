@@ -85,7 +85,7 @@ proptest! {
     fn schedules_pass_audit_clairvoyant(jobs in arb_workload(60)) {
         for mut sched in schedulers() {
             let mut pred = ClairvoyantPredictor;
-            let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+            let res = simulate(&jobs, SimConfig::single(MACHINE),
                                sched.as_mut(), &mut pred, None).unwrap();
             prop_assert_eq!(res.outcomes.len(), jobs.len());
             let report = audit(&res);
@@ -100,7 +100,7 @@ proptest! {
         for mut sched in schedulers() {
             let mut pred = Tenth;
             let corr = RequestedTimeCorrection;
-            let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+            let res = simulate(&jobs, SimConfig::single(MACHINE),
                                sched.as_mut(), &mut pred, Some(&corr)).unwrap();
             prop_assert_eq!(res.outcomes.len(), jobs.len());
             let report = audit(&res);
@@ -112,7 +112,7 @@ proptest! {
     #[test]
     fn fcfs_preserves_arrival_order(jobs in arb_workload(40)) {
         let mut pred = RequestedTimePredictor;
-        let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+        let res = simulate(&jobs, SimConfig::single(MACHINE),
                            &mut FcfsScheduler, &mut pred, None).unwrap();
         let mut outcomes = res.outcomes.clone();
         outcomes.sort_by_key(|o| (o.start, o.id));
@@ -133,7 +133,7 @@ proptest! {
         let run = |jobs: &[Job]| {
             let mut pred = Tenth;
             let corr = RequestedTimeCorrection;
-            simulate(jobs, SimConfig { machine_size: MACHINE },
+            simulate(jobs, SimConfig::single(MACHINE),
                      &mut EasyScheduler::sjbf(), &mut pred, Some(&corr)).unwrap()
         };
         let a = run(&jobs);
@@ -146,7 +146,7 @@ proptest! {
     #[test]
     fn kill_bound_respected(jobs in arb_workload(40)) {
         let mut pred = RequestedTimePredictor;
-        let res = simulate(&jobs, SimConfig { machine_size: MACHINE },
+        let res = simulate(&jobs, SimConfig::single(MACHINE),
                            &mut EasyScheduler::new(), &mut pred, None).unwrap();
         for o in &res.outcomes {
             let original = &jobs[o.id.index()];
@@ -164,7 +164,7 @@ proptest! {
     /// contended workloads it wins.
     #[test]
     fn easy_does_not_meaningfully_lose_to_fcfs_clairvoyant(jobs in arb_workload(40)) {
-        let cfg = SimConfig { machine_size: MACHINE };
+        let cfg = SimConfig::single(MACHINE);
         let easy = simulate(&jobs, cfg, &mut EasyScheduler::new(),
                             &mut ClairvoyantPredictor, None).unwrap();
         let fcfs = simulate(&jobs, cfg, &mut FcfsScheduler,

@@ -49,6 +49,7 @@ fn warm_passes_never_reallocate() {
             deadline: Time(10_000),
             user: 1,
             corrections: 0,
+            partition: 0,
         })
         .collect();
     let releases = ReleaseSet::from_running(&running);
@@ -56,6 +57,7 @@ fn warm_passes_never_reallocate() {
     let used: u32 = running.iter().map(|r| r.procs).sum();
     let ctx = SchedulerContext {
         now: Time(10),
+        partition: 0,
         machine_size: MACHINE,
         free: MACHINE - used,
         queue: &queue,
@@ -103,9 +105,7 @@ fn warm_passes_never_reallocate() {
 #[test]
 fn simulation_passes_are_warm_after_startup() {
     let jobs = contended_jobs(1_500);
-    let cfg = SimConfig {
-        machine_size: MACHINE,
-    };
+    let cfg = SimConfig::single(MACHINE);
 
     let mut sched = EasyScheduler::sjbf();
     simulate(&jobs, cfg, &mut sched, &mut RequestedTimePredictor, None).unwrap();

@@ -252,9 +252,7 @@ impl GeneratedWorkload {
 
     /// Convenience: a `SimConfig` for this workload's machine.
     pub fn sim_config(&self) -> predictsim_sim::SimConfig {
-        predictsim_sim::SimConfig {
-            machine_size: self.machine_size,
-        }
+        predictsim_sim::SimConfig::single(self.machine_size)
     }
 }
 

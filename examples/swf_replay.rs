@@ -59,9 +59,7 @@ fn main() {
 
     // 3. Convert and simulate under three schedulers.
     let jobs = predictsim::sim::jobs_from_swf(&log.records).expect("convert records");
-    let cfg = SimConfig {
-        machine_size: machine_size as u32,
-    };
+    let cfg = SimConfig::single(machine_size as u32);
 
     for triple in [
         HeuristicTriple::standard_easy(),

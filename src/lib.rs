@@ -85,9 +85,9 @@ pub mod prelude {
     pub use predictsim_core::predictor::{Ave2Predictor, MlConfig, MlPredictor};
     pub use predictsim_core::{AsymmetricLoss, WeightingScheme};
     pub use predictsim_experiments::{
-        campaign_triples, cross_validate, run_campaign, CorrectionKind, ExperimentSetup,
-        HeuristicTriple, LoadedWorkload, PredictionTechnique, RegistryError, Scenario,
-        ScenarioBuilder, ScenarioError, SourceError, SwfSource, SyntheticSource, Variant,
+        campaign_triples, cross_validate, run_campaign, run_campaign_cluster, CorrectionKind,
+        ExperimentSetup, HeuristicTriple, LoadedWorkload, PredictionTechnique, RegistryError,
+        Scenario, ScenarioBuilder, ScenarioError, SourceError, SwfSource, SyntheticSource, Variant,
         WorkloadSource,
     };
     pub use predictsim_metrics::{ave_bsld, bounded_slowdown, Ecdf, DEFAULT_TAU};

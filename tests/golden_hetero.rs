@@ -1,0 +1,112 @@
+//! Golden pin for the heterogeneous cluster path: a 2-partition mini
+//! campaign whose numbers are committed byte-for-byte, run at pool
+//! widths 1 and 8 so the hetero routing loop is proven independent of
+//! the campaign fan-out.
+//!
+//! The single-machine golden trace (`golden_trace.rs`) proves the
+//! refactor left the legacy path untouched; this file pins the *new*
+//! behaviour — speed-scaled runtimes and first-fit partition routing —
+//! so future scheduler or engine work cannot silently shift
+//! heterogeneous results.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_hetero
+//! ```
+
+use predictsim::experiments::{run_campaign_cluster, CorrectionKind};
+use predictsim::prelude::*;
+use predictsim::sim::ClusterSpec;
+
+const GOLDEN_PATH: &str = "tests/golden/hetero_pipeline.json";
+
+/// The pinned cluster: a full-speed 64-proc main partition plus a
+/// half-speed 32-proc overflow partition. The toy workload's widest
+/// jobs fit the main partition, and the speed split guarantees the
+/// overflow partition visibly stretches (and sometimes kills) jobs.
+const CLUSTER: &str = "cluster:64x1+32x0.5";
+
+fn golden_workloads() -> Vec<GeneratedWorkload> {
+    [("H1", 0.80), ("H2", 0.92)]
+        .iter()
+        .enumerate()
+        .map(|(i, (name, util))| {
+            let mut spec = WorkloadSpec::toy();
+            spec.name = (*name).into();
+            spec.jobs = 220;
+            spec.duration = 3 * 86_400;
+            spec.utilization = *util;
+            generate(&spec, 20150201 + i as u64)
+        })
+        .collect()
+}
+
+/// A small triple slice covering the baseline, a learning triple, and a
+/// correction-heavy triple — enough to exercise prediction, correction,
+/// and both backfill orders on the split machine.
+fn golden_triples() -> Vec<HeuristicTriple> {
+    vec![
+        HeuristicTriple::standard_easy(),
+        HeuristicTriple::paper_winner(),
+        HeuristicTriple {
+            prediction: PredictionTechnique::Ave2,
+            correction: Some(CorrectionKind::RecursiveDoubling),
+            variant: Variant::Easy,
+        },
+    ]
+}
+
+#[test]
+fn hetero_mini_campaign_matches_golden_trace() {
+    let cluster: ClusterSpec = CLUSTER.parse().expect("pinned cluster spec parses");
+    let workloads = golden_workloads();
+    let triples = golden_triples();
+
+    // The same campaign at both ends of the fan-out spectrum: the
+    // hetero routing loop must be a pure function of the inputs, not of
+    // how the triple grid is spread across worker threads.
+    let narrow: Vec<_> = rayon::pool::with_num_threads(1, || {
+        workloads
+            .iter()
+            .map(|w| run_campaign_cluster(&w.into(), cluster, &triples))
+            .collect()
+    });
+    let wide: Vec<_> = rayon::pool::with_num_threads(8, || {
+        workloads
+            .iter()
+            .map(|w| run_campaign_cluster(&w.into(), cluster, &triples))
+            .collect()
+    });
+    assert_eq!(narrow, wide, "hetero campaign varies with pool width");
+
+    // Structural claims independent of the exact bytes.
+    for campaign in &narrow {
+        assert_eq!(campaign.machine_size, 96, "total procs = 64 + 32");
+        for row in &campaign.results {
+            assert!(
+                row.ave_bsld >= 1.0,
+                "{}: bsld below lower bound",
+                row.triple
+            );
+        }
+    }
+
+    let rendered = serde_json::to_string_pretty(&narrow).expect("serialize hetero campaigns");
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, format!("{rendered}\n")).expect("write golden");
+        panic!("golden trace regenerated at {GOLDEN_PATH} — rerun without GOLDEN_REGEN");
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN_PATH} ({e}); regenerate with GOLDEN_REGEN=1")
+    });
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "hetero campaign trace drifted from {GOLDEN_PATH}; if the change is intentional, \
+         regenerate with GOLDEN_REGEN=1 and review the JSON diff"
+    );
+}
