@@ -2,19 +2,42 @@
 //! campaign measured at 1, 2, 4, and 8 worker threads. On a
 //! multi-core box the wider runs should approach `t(1)/cores`; the
 //! printed pool stats confirm the parallel path actually engaged.
+//!
+//! Three groups:
+//!
+//! * `campaign` — cold cache per iteration: every cell simulates, so
+//!   this tracks end-to-end campaign throughput;
+//! * `campaign_warm` — the cache stays hot: every cell is a memory
+//!   hit, so this isolates the `SimCache` lookup path itself (with the
+//!   sharded cache, widening the pool must not serialize on one lock);
+//! * `engine_hetero` — the cold campaign on a 2-partition split
+//!   machine, tracking the heterogeneous routing overhead.
+//!
+//! With `RECORD_SCALING=<path>` set, the bench additionally measures
+//! the campaign wall-clock directly (no Criterion sampling) at pool
+//! widths 1, 8 and all-cores — cold and warm — and splices the table
+//! into `<path>` (normally `EXPERIMENTS.md`) between the
+//! `repro:scaling` markers.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use predictsim_bench::measure_workload;
+use predictsim_experiments::timing::{record_section, SCALING_BEGIN, SCALING_END};
 use predictsim_experiments::HeuristicTriple;
 
-fn bench(c: &mut Criterion) {
-    let w = measure_workload();
-    let triples = vec![
+fn triples() -> Vec<HeuristicTriple> {
+    vec![
         HeuristicTriple::standard_easy(),
         HeuristicTriple::easy_plus_plus(),
         HeuristicTriple::paper_winner(),
         HeuristicTriple::clairvoyant(predictsim_experiments::Variant::EasySjbf),
-    ];
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let w = measure_workload();
+    let triples = triples();
 
     let loaded = predictsim_experiments::LoadedWorkload::from(&w);
     let mut g = c.benchmark_group("parallel_scaling");
@@ -23,6 +46,25 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("campaign", width), &width, |b, &n| {
             b.iter(|| {
                 predictsim_experiments::SimCache::global().clear_memory();
+                rayon::pool::with_num_threads(n, || {
+                    std::hint::black_box(predictsim_experiments::campaign::run_campaign_loaded(
+                        &loaded, &triples,
+                    ))
+                })
+            })
+        });
+    }
+    // Warm cache: every cell is already memoized, so the measured work
+    // is the concurrent lookup path — shard selection, a short lock,
+    // a clone of the aggregate. Before sharding, all widths met at one
+    // global mutex here.
+    predictsim_experiments::SimCache::global().clear_memory();
+    rayon::pool::with_num_threads(1, || {
+        predictsim_experiments::campaign::run_campaign_loaded(&loaded, &triples)
+    });
+    for width in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("campaign_warm", width), &width, |b, &n| {
+            b.iter(|| {
                 rayon::pool::with_num_threads(n, || {
                     std::hint::black_box(predictsim_experiments::campaign::run_campaign_loaded(
                         &loaded, &triples,
@@ -58,6 +100,112 @@ fn bench(c: &mut Criterion) {
         "pool stats: {} bulk ops ({} parallel), {} items, max {} workers in one op",
         stats.bulk_ops, stats.parallel_ops, stats.items_processed, stats.max_workers_in_one_op
     );
+
+    if let Ok(path) = std::env::var("RECORD_SCALING") {
+        record_scaling(&path, &loaded, &triples);
+    }
+}
+
+/// Directly measured campaign wall-clock (median of 3) at pool widths
+/// 1/8/all-cores, cold and warm, spliced into the scaling section of
+/// `path`. Unlike the Criterion groups above, this measures the *full*
+/// 130-triple grid on the quick-scale KTH workload — the unit of work
+/// a real `repro` invocation fans out — so the row durations are large
+/// enough for the width comparison to mean something.
+fn record_scaling(
+    path: &str,
+    _loaded: &predictsim_experiments::LoadedWorkload,
+    _reduced: &[HeuristicTriple],
+) {
+    // Cargo runs bench binaries with the package dir as cwd; resolve a
+    // relative path against the workspace root so
+    // `RECORD_SCALING=EXPERIMENTS.md` lands next to the README.
+    let target = {
+        let p = std::path::Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(p)
+        }
+    };
+    let w = predictsim_experiments::ExperimentSetup {
+        scale: 0.05,
+        ..predictsim_experiments::ExperimentSetup::quick()
+    }
+    .workload("kth")
+    .expect("KTH preset exists");
+    let loaded = predictsim_experiments::LoadedWorkload::from(&w);
+    let triples = predictsim_experiments::campaign_triples();
+    let triples = triples.as_slice();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut widths = vec![1usize, 8, cores];
+    widths.sort_unstable();
+    widths.dedup();
+
+    let cache = predictsim_experiments::SimCache::global();
+    let median3 = |f: &dyn Fn()| {
+        let mut secs: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(f64::total_cmp);
+        secs[1]
+    };
+
+    let mut table = format!(
+        "## Campaign scaling across pool widths\n\n\
+         Written by `RECORD_SCALING=EXPERIMENTS.md cargo bench --bench \
+         parallel_scaling`: the full campaign grid ({} triples on {}, {} \
+         jobs) measured directly (median of 3) per pool width on a \
+         {cores}-core host. *Cold* clears the in-memory cache each run \
+         (every cell simulates, single-flight); *warm* keeps it hot \
+         (every cell is a sharded-lookup memory hit).\n\n\
+         | pool width | cold campaign (s) | warm campaign (ms) |\n|---|---|---|\n",
+        triples.len(),
+        loaded.name,
+        loaded.jobs.len(),
+    );
+    for &width in &widths {
+        let cold = median3(&|| {
+            cache.clear_memory();
+            rayon::pool::with_num_threads(width, || {
+                std::hint::black_box(predictsim_experiments::campaign::run_campaign_loaded(
+                    &loaded, triples,
+                ));
+            });
+        });
+        cache.clear_memory();
+        rayon::pool::with_num_threads(width, || {
+            predictsim_experiments::campaign::run_campaign_loaded(&loaded, triples);
+        });
+        let warm = median3(&|| {
+            rayon::pool::with_num_threads(width, || {
+                std::hint::black_box(predictsim_experiments::campaign::run_campaign_loaded(
+                    &loaded, triples,
+                ));
+            });
+        });
+        table.push_str(&format!("| {width} | {cold:.3} | {:.2} |\n", warm * 1e3));
+        eprintln!(
+            "scaling width {width}: cold {cold:.3}s warm {:.2}ms",
+            warm * 1e3
+        );
+    }
+    match record_section(&target, SCALING_BEGIN, SCALING_END, &table) {
+        Ok(()) => eprintln!("recorded scaling table into {}", target.display()),
+        Err(e) => eprintln!(
+            "could not update {} ({e}); table:\n{table}",
+            target.display()
+        ),
+    }
 }
 
 criterion_group!(benches, bench);

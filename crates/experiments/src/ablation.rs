@@ -30,15 +30,18 @@ pub struct AblationRow {
 
 fn run_rows(workload: &LoadedWorkload, runs: Vec<(String, HeuristicTriple)>) -> Vec<AblationRow> {
     let cache = SimCache::global();
+    let progress = crate::progress::CellProgress::new("ablation", runs.len());
     runs.into_par_iter()
         .map(|(label, triple)| {
-            let cell = cache
-                .run_cell(
+            let started = crate::progress::start();
+            let (cell, source) = cache
+                .run_cell_traced(
                     &workload.jobs,
                     predictsim_sim::ClusterSpec::single(workload.machine_size),
                     &triple,
                 )
                 .unwrap_or_else(|e| panic!("ablation {label} failed: {e}"));
+            progress.cell_done(&label, source, started);
             AblationRow {
                 label,
                 ave_bsld: cell.result.ave_bsld,

@@ -18,13 +18,18 @@
 //!
 //! OPTIONS
 //!   --scale F        preset scale factor (default 0.05; 1.0 = full Table 4)
-//!   --full           shorthand for --scale 1.0
+//!   --full           the resumable full-scale run: --scale 1.0 composed
+//!                    with --cache (default dir repro-cache), --prune and
+//!                    --progress — kill it and relaunch to resume
 //!   --seed N         workload generation seed (default 20150101)
 //!   --out DIR        also write JSON artifacts (campaigns, figures) to DIR
 //!   --threads N      pin the worker-pool width (default: RAYON_NUM_THREADS
 //!                    or the machine's parallelism)
 //!   --timing         record per-phase wall-clock into EXPERIMENTS.md
 //!   --cache DIR      persist simulated cells to DIR; later runs reuse them
+//!   --cache-budget B size budget for the cache dir in bytes (K/M/G
+//!                    suffixes; default 8G); LRU cells past it are evicted
+//!   --progress       per-cell progress lines on stderr (a resume journal)
 //!   --prune          early-abort dominated campaign triples (sweep mode)
 //!   --list           print every registered scheduler/predictor/correction
 //!
@@ -68,6 +73,8 @@ struct Options {
     threads: Option<usize>,
     timing: bool,
     cache_dir: Option<std::path::PathBuf>,
+    cache_budget: Option<u64>,
+    progress: bool,
     prune: bool,
     swf: Option<std::path::PathBuf>,
     log: Option<String>,
@@ -75,6 +82,18 @@ struct Options {
     predictor: Option<String>,
     correction: Option<String>,
     cluster: Option<String>,
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` (binary) suffix.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (digits, unit) = match v.chars().last()? {
+        'k' | 'K' => (&v[..v.len() - 1], 1024u64),
+        'm' | 'M' => (&v[..v.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&v[..v.len() - 1], 1024 * 1024 * 1024),
+        _ => (v, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(unit)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -87,6 +106,9 @@ fn parse_args() -> Result<Options, String> {
     let mut threads = None;
     let mut timing = false;
     let mut cache_dir = None;
+    let mut cache_budget = None;
+    let mut progress = false;
+    let mut full = false;
     let mut prune = false;
     let mut swf = None;
     let mut log = None;
@@ -120,7 +142,10 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--scale needs a value")?;
                 setup.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
             }
-            "--full" => setup.scale = 1.0,
+            "--full" => {
+                setup.scale = 1.0;
+                full = true;
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 setup.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
@@ -144,6 +169,12 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or("--cache needs a directory")?,
                 ));
             }
+            "--cache-budget" => {
+                let v = args.next().ok_or("--cache-budget needs a byte count")?;
+                cache_budget =
+                    Some(parse_bytes(&v).ok_or(format!("bad byte count {v:?} (try 512M, 8G)"))?);
+            }
+            "--progress" => progress = true,
             "--prune" => prune = true,
             "--help" | "-h" => {
                 experiments.clear();
@@ -175,6 +206,18 @@ fn parse_args() -> Result<Options, String> {
     if experiments.is_empty() {
         experiments.push("help".into());
     }
+    // `--full` is the one-command resumable full-scale run: it composes
+    // the persistent cache (default directory `repro-cache` unless
+    // `--cache` names one), the dominated-triple prune sweep and the
+    // per-cell progress journal, so a killed run can be relaunched and
+    // resumes from the cells it already wrote.
+    if full {
+        progress = true;
+        prune = true;
+        if cache_dir.is_none() {
+            cache_dir = Some(std::path::PathBuf::from("repro-cache"));
+        }
+    }
     Ok(Options {
         setup,
         out_dir,
@@ -182,6 +225,8 @@ fn parse_args() -> Result<Options, String> {
         threads,
         timing,
         cache_dir,
+        cache_budget,
+        progress,
         prune,
         swf,
         log,
@@ -302,9 +347,14 @@ fn main() {
             return;
         }
     }
+    predictsim_experiments::progress::set_enabled(opts.progress);
     if let Some(dir) = &opts.cache_dir {
         SimCache::global().set_persist_dir(Some(dir.clone()));
         eprintln!("persistent simulation cache: {}", dir.display());
+    }
+    if let Some(bytes) = opts.cache_budget {
+        SimCache::global().set_disk_budget(bytes);
+        eprintln!("persistent cache budget: {bytes} bytes");
     }
     match opts.threads {
         // The override is thread-local; every fan-out in `run` starts
@@ -594,14 +644,33 @@ fn run(opts: &Options) {
     }
 
     let cache_stats = SimCache::global().stats();
+    // New counters are appended after the original three — tooling
+    // (the CI cache smoke) matches on the `simulated=` prefix.
     eprintln!(
-        "cache summary: simulated={} memory_hits={} disk_hits={}",
-        cache_stats.simulated, cache_stats.memory_hits, cache_stats.disk_hits
+        "cache summary: simulated={} memory_hits={} disk_hits={} coalesced={} disk_rejects={} evicted={}",
+        cache_stats.simulated,
+        cache_stats.memory_hits,
+        cache_stats.disk_hits,
+        cache_stats.coalesced,
+        cache_stats.disk_rejects,
+        cache_stats.disk_evictions
     );
     timer.note(format!(
         "cache totals: {} cells simulated, {} memory hits, {} disk hits",
         cache_stats.simulated, cache_stats.memory_hits, cache_stats.disk_hits
     ));
+    if cache_stats.disk_rejects > 0 {
+        timer.note(format!(
+            "persistent cache: {} corrupt/mismatched file(s) rejected and re-simulated",
+            cache_stats.disk_rejects
+        ));
+    }
+    if cache_stats.disk_evictions > 0 {
+        timer.note(format!(
+            "persistent cache: {} cell(s) evicted by the size budget",
+            cache_stats.disk_evictions
+        ));
+    }
     eprintln!("\ntotal wall time: {:.1}s", timer.total());
     if opts.timing {
         let experiments = opts.experiments.join(" ");
@@ -649,7 +718,10 @@ EXPERIMENTS
 
 OPTIONS
   --scale F    preset scale factor (default 0.05; 1.0 = full Table 4)
-  --full       shorthand for --scale 1.0
+  --full       the resumable full-scale run: --scale 1.0 composed with
+               --cache (default directory ./repro-cache), --prune and
+               --progress; kill it at any point and relaunch the same
+               command to resume from the cells already on disk
   --seed N     workload generation seed (default 20150101)
   --out DIR    also write JSON artifacts to DIR
   --threads N  pin the worker-pool width (default: RAYON_NUM_THREADS or
@@ -657,7 +729,15 @@ OPTIONS
   --timing     record per-phase wall-clock into ./EXPERIMENTS.md (with a
                per-log campaigns breakdown and cache-effectiveness counts)
   --cache DIR  persist simulated cells to DIR and reuse them across runs
-               (a repeated run over unchanged workloads simulates nothing)
+               (a repeated run over unchanged workloads simulates nothing;
+               a killed run resumes)
+  --cache-budget BYTES
+               size budget for the cache directory (K/M/G suffixes, e.g.
+               512M, 8G; default 8G). Past it, least-recently-used cells
+               are evicted — never cells the current run touched
+  --progress   per-cell progress lines on stderr (`progress: campaign
+               KTH-SP2 [17/130] ... — simulated in 12.4s`); redirect
+               stderr to a file to get a resume journal
   --prune      early-abort campaign triples whose AVEbsld lower bound
                already exceeds the best baseline (sweep mode; winner
                preserved, pruned cells record lower bounds; default off —

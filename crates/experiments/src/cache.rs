@@ -1,4 +1,5 @@
-//! Process-wide simulation memoization, with an opt-in persistent layer.
+//! Process-wide simulation memoization — sharded, single-flight, with an
+//! opt-in persistent layer under a size-budgeted LRU.
 //!
 //! The repro pipeline re-simulates the same (workload × policy triple)
 //! cells from several experiments: the campaign grid is re-read by
@@ -12,26 +13,66 @@
 //! everything any consumer reads — so every distinct cell simulates
 //! **once per process**, whichever experiment asks first.
 //!
+//! # Sharding
+//!
+//! The in-memory layer is split into [`SHARD_COUNT`] shards selected by
+//! the cell key's FNV-1a hash (the same hash that names persistent
+//! files), each with its own lock and its own slice of the prediction
+//! budget. Parallel campaign workers therefore contend only when they
+//! touch the *same* shard, not on one global lock.
+//!
+//! # Single-flight
+//!
+//! A miss installs an in-flight marker in its shard before simulating;
+//! concurrent requesters for the same cell block on that marker and are
+//! handed the first simulation's result instead of duplicating the
+//! work. [`CacheStats::simulated`] is therefore a true work count: one
+//! cold cell requested from N workers simulates exactly once. Waiters
+//! are counted as memory hits, with [`CacheStats::coalesced`] recording
+//! how many of those hits were de-duplicated in-flight requests. If a
+//! leader fails (simulation error), its marker is withdrawn and waiters
+//! retry — one of them becomes the next leader and surfaces the error
+//! itself.
+//!
+//! # Persistent layer
+//!
 //! The optional persistent layer (`repro --cache DIR`) writes each cell
 //! to `DIR` as JSON and reads it back in later invocations: a repeated
-//! `repro` run over unchanged workloads simulates nothing. Entries are
-//! verified against the full key on load, and the fingerprint is a
-//! fixed, platform-independent encoding, so a cache directory is
-//! portable. Cached cells reproduce fresh runs *byte-identically*: the
-//! stored [`TripleResult`] is the same value a fresh simulation
-//! aggregates, and prediction vectors round-trip losslessly through
-//! JSON (they are `i64`s).
+//! `repro` run over unchanged workloads simulates nothing, and a run
+//! killed mid-campaign resumes from the cells it already wrote. Entries
+//! are verified against the full key on load — a corrupt or
+//! key-mismatched file is *rejected*: counted in
+//! [`CacheStats::disk_rejects`], deleted, and re-simulated (once, not
+//! silently re-written every run). The fingerprint is a fixed,
+//! platform-independent encoding, so a cache directory is portable.
+//! Cached cells reproduce fresh runs *byte-identically*: the stored
+//! [`TripleResult`] is the same value a fresh simulation aggregates,
+//! and prediction vectors round-trip losslessly through JSON (they are
+//! `i64`s).
 //!
-//! Memory discipline: aggregates are tiny and kept for every cell;
-//! prediction vectors are kept only while the cache's prediction budget
+//! The directory carries a size budget ([`SimCache::set_disk_budget`],
+//! `repro --cache-budget BYTES`, default [`SimCache::DISK_BUDGET`])
+//! tracked by an `index.json` of per-cell file size and logical
+//! last-use time. When a write pushes the directory past its budget,
+//! least-recently-used cells are evicted — but never cells touched by
+//! the current run, so an in-progress campaign cannot evict its own
+//! working set. The clock is a logical counter (no wall time), so the
+//! index is deterministic for a given access sequence.
+//!
+//! # Memory discipline
+//!
+//! Aggregates are tiny and kept for every cell; prediction vectors are
+//! kept only while the shard's slice of the prediction budget
 //! ([`SimCache::PREDICTION_BUDGET`]) lasts — past it, new entries drop
 //! them (consumers that need predictions then re-simulate that cell;
-//! aggregates stay served from the cache).
+//! aggregates stay served from the cache). Re-inserting a key refunds
+//! the replaced cell's vector before charging the new one, so repeated
+//! inserts are budget-neutral.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use predictsim_sim::ClusterSpec;
 use serde::{Deserialize, Serialize};
@@ -40,6 +81,10 @@ use crate::campaign::TripleResult;
 use crate::scenario::{Scenario, ScenarioError};
 use crate::source::JobArena;
 use crate::triple::HeuristicTriple;
+
+/// Number of independently locked shards (power of two; the shard is
+/// the key hash's low bits).
+pub const SHARD_COUNT: usize = 16;
 
 /// One memoized simulation cell.
 #[derive(Debug, Clone)]
@@ -53,6 +98,19 @@ pub struct CachedCell {
     pub predictions: Option<Arc<Vec<i64>>>,
 }
 
+/// Where a [`SimCache::run_cell_traced`] result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// This call ran the simulation (a true cache miss).
+    Simulated,
+    /// Served from the in-memory layer.
+    Memory,
+    /// Served from the persistent directory.
+    Disk,
+    /// Waited on another worker's in-flight simulation of the same cell.
+    Coalesced,
+}
+
 /// Cache identity of one cell. The cluster is keyed by its canonical
 /// [`ClusterSpec`] string, so two specs with equal total processors but
 /// different partitioning (or speeds) can never alias each other.
@@ -63,15 +121,51 @@ struct CellKey {
     triple: String,
 }
 
+impl CellKey {
+    fn new(arena: &JobArena, cluster: ClusterSpec, triple: &HeuristicTriple) -> Self {
+        CellKey {
+            fingerprint: arena.fingerprint(),
+            cluster: cluster.to_string(),
+            triple: triple.name(),
+        }
+    }
+
+    /// FNV-1a over the key's fields — names the persistent file *and*
+    /// selects the shard, so disk layout and lock layout agree.
+    fn fnv(&self) -> u64 {
+        crate::source::fnv1a64(
+            self.fingerprint
+                .to_le_bytes()
+                .into_iter()
+                .chain(self.cluster.bytes())
+                .chain(self.triple.bytes()),
+        )
+    }
+
+    /// Stable persistent file name for this key.
+    fn file_name(&self) -> String {
+        format!("cell-{:016x}.json", self.fnv())
+    }
+}
+
 /// Cumulative cache accounting (process-wide).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Cells actually simulated (cache misses).
+    /// Cells actually simulated (cache misses — a true work count under
+    /// single-flight).
     pub simulated: u64,
-    /// Cells served from process memory.
+    /// Cells served from process memory (including coalesced waits).
     pub memory_hits: u64,
     /// Cells served from the persistent directory.
     pub disk_hits: u64,
+    /// The subset of `memory_hits` that waited on another worker's
+    /// in-flight simulation instead of duplicating it.
+    pub coalesced: u64,
+    /// Corrupt or key-mismatched persistent files rejected (and
+    /// deleted) on load.
+    pub disk_rejects: u64,
+    /// Persistent cells evicted by the disk-layer LRU budget.
+    pub disk_evictions: u64,
 }
 
 impl CacheStats {
@@ -91,6 +185,9 @@ impl CacheStats {
             simulated: self.simulated - earlier.simulated,
             memory_hits: self.memory_hits - earlier.memory_hits,
             disk_hits: self.disk_hits - earlier.disk_hits,
+            coalesced: self.coalesced - earlier.coalesced,
+            disk_rejects: self.disk_rejects - earlier.disk_rejects,
+            disk_evictions: self.disk_evictions - earlier.disk_evictions,
         }
     }
 }
@@ -106,33 +203,256 @@ struct DiskCell {
     predictions: Vec<i64>,
 }
 
+/// A slot in a shard's map: either a finished cell or a marker for the
+/// worker currently simulating it.
+enum Slot {
+    Ready(CachedCell),
+    InFlight(Arc<Flight>),
+}
+
+/// The rendezvous for one in-flight simulation.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    Ready(CachedCell),
+    /// The leader failed (simulation error or panic); waiters retry the
+    /// lookup and one of them becomes the next leader.
+    Failed,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader finishes; `None` means it failed.
+    fn wait(&self) -> Option<CachedCell> {
+        let mut state = self.state.lock().expect("flight lock");
+        while matches!(*state, FlightState::Pending) {
+            state = self.done.wait(state).expect("flight lock");
+        }
+        match &*state {
+            FlightState::Ready(cell) => Some(cell.clone()),
+            FlightState::Failed => None,
+            FlightState::Pending => unreachable!("waited past Pending"),
+        }
+    }
+
+    /// Resolves the flight (first resolution wins) and wakes waiters.
+    fn finish(&self, outcome: Option<CachedCell>) {
+        let mut state = self.state.lock().expect("flight lock");
+        if matches!(*state, FlightState::Pending) {
+            *state = match outcome {
+                Some(cell) => FlightState::Ready(cell),
+                None => FlightState::Failed,
+            };
+        }
+        drop(state);
+        self.done.notify_all();
+    }
+}
+
+/// One independently locked slice of the in-memory layer.
+struct Shard {
+    cells: HashMap<CellKey, Slot>,
+    /// Prediction elements still storable in this shard before its
+    /// budget slice is exhausted.
+    prediction_budget: usize,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Self {
+        Shard {
+            cells: HashMap::new(),
+            prediction_budget: budget,
+        }
+    }
+}
+
+/// Per-cell bookkeeping of the persistent directory.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct DiskEntry {
+    /// File size in bytes (the serialized cell).
+    bytes: u64,
+    /// Logical last-use time ([`DiskIndex::clock`] at the last touch).
+    last_use: u64,
+}
+
+/// The persisted `index.json`: a logical clock plus one entry per cell
+/// file, used for LRU eviction decisions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct DiskIndex {
+    clock: u64,
+    entries: HashMap<String, DiskEntry>,
+}
+
+/// State of the opt-in persistent layer, under one lock (file I/O
+/// happens *outside* it where possible; index mutations inside).
+struct PersistLayer {
+    dir: Option<PathBuf>,
+    /// Directory size budget in bytes (cell files only; the index is
+    /// exempt).
+    budget: u64,
+    index: DiskIndex,
+    /// Sum of `index.entries[*].bytes` (maintained incrementally).
+    total_bytes: u64,
+    /// Entries with `last_use >= run_floor` were touched by the current
+    /// run and are never evicted.
+    run_floor: u64,
+}
+
+impl PersistLayer {
+    fn new() -> Self {
+        PersistLayer {
+            dir: None,
+            budget: SimCache::DISK_BUDGET,
+            index: DiskIndex::default(),
+            total_bytes: 0,
+            run_floor: 0,
+        }
+    }
+
+    fn touch(&mut self, file_name: &str, bytes_hint: u64) {
+        self.index.clock += 1;
+        let clock = self.index.clock;
+        match self.index.entries.get_mut(file_name) {
+            Some(entry) => entry.last_use = clock,
+            None => {
+                // A file another process wrote: adopt it.
+                self.index.entries.insert(
+                    file_name.to_string(),
+                    DiskEntry {
+                        bytes: bytes_hint,
+                        last_use: clock,
+                    },
+                );
+                self.total_bytes += bytes_hint;
+            }
+        }
+    }
+
+    fn forget(&mut self, file_name: &str) {
+        if let Some(entry) = self.index.entries.remove(file_name) {
+            self.total_bytes -= entry.bytes;
+        }
+    }
+}
+
 /// The process-wide simulation cache — see the module docs.
 pub struct SimCache {
-    cells: Mutex<HashMap<CellKey, CachedCell>>,
-    /// Prediction elements still storable before the budget is hit.
-    prediction_budget: Mutex<usize>,
-    persist_dir: Mutex<Option<PathBuf>>,
+    shards: [Mutex<Shard>; SHARD_COUNT],
+    persist: Mutex<PersistLayer>,
     simulated: AtomicU64,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
+    coalesced: AtomicU64,
+    disk_rejects: AtomicU64,
+    disk_evictions: AtomicU64,
+    /// Per-process sequence for unique temp-file names (two threads —
+    /// or two processes, via the pid component — sharing one cache
+    /// directory must never interleave writes into one temp file).
+    tmp_seq: AtomicU64,
 }
 
 static GLOBAL: OnceLock<SimCache> = OnceLock::new();
 
+/// What a shard lookup produced: a finished cell, a flight to wait on,
+/// or leadership of the miss (the `Lease` below).
+enum Claim<'a> {
+    Hit(CachedCell),
+    Wait(Arc<Flight>),
+    Lead(Lease<'a>),
+}
+
+/// Leadership of one in-flight cell. Dropping it without
+/// [`Lease::fulfill`] withdraws the marker and signals waiters to retry
+/// — so a simulation error (or panic) can never strand them.
+struct Lease<'a> {
+    cache: &'a SimCache,
+    key: CellKey,
+    flight: Arc<Flight>,
+    fulfilled: bool,
+}
+
+impl Lease<'_> {
+    /// Installs the finished cell in its shard and hands it to every
+    /// waiter.
+    fn fulfill(mut self, cell: CachedCell) {
+        let replaced = self.cache.install(self.key.clone(), cell.clone());
+        if let Some(other) = replaced {
+            // `record_simulated` (or a racing leader) left a different
+            // flight in the slot; resolve it too so its waiters wake.
+            if !Arc::ptr_eq(&other, &self.flight) {
+                other.finish(Some(cell.clone()));
+            }
+        }
+        self.flight.finish(Some(cell));
+        self.fulfilled = true;
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // Abandon: withdraw our marker (only if it is still ours) and
+        // wake waiters so one of them can lead the retry.
+        let mut shard = self
+            .cache
+            .shard(&self.key)
+            .lock()
+            .expect("cache shard lock");
+        if let Some(Slot::InFlight(flight)) = shard.cells.get(&self.key) {
+            if Arc::ptr_eq(flight, &self.flight) {
+                shard.cells.remove(&self.key);
+            }
+        }
+        drop(shard);
+        self.flight.finish(None);
+    }
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SimCache {
-    /// Prediction elements (8 bytes each) the in-memory layer may hold:
-    /// 64M ≈ 512 MB, far above any quick-scale run and a sane ceiling
-    /// for full-scale ones.
+    /// Prediction elements (8 bytes each) the in-memory layer may hold
+    /// across all shards: 64M ≈ 512 MB, far above any quick-scale run
+    /// and a sane ceiling for full-scale ones. Each shard owns a
+    /// `1/SHARD_COUNT` slice.
     pub const PREDICTION_BUDGET: usize = 64_000_000;
 
-    fn new() -> Self {
+    /// Default persistent-layer size budget: 8 GiB of cell files —
+    /// generous (a full-scale repro writes well under 1 GiB) but a hard
+    /// ceiling against unbounded growth of a long-lived `--cache DIR`.
+    pub const DISK_BUDGET: u64 = 8 * 1024 * 1024 * 1024;
+
+    /// An independent cache instance (tests, benches, embedding several
+    /// cache domains). Experiments route through [`SimCache::global`].
+    pub fn new() -> Self {
         Self {
-            cells: Mutex::new(HashMap::new()),
-            prediction_budget: Mutex::new(Self::PREDICTION_BUDGET),
-            persist_dir: Mutex::new(None),
+            shards: std::array::from_fn(|_| {
+                Mutex::new(Shard::new(Self::PREDICTION_BUDGET / SHARD_COUNT))
+            }),
+            persist: Mutex::new(PersistLayer::new()),
             simulated: AtomicU64::new(0),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            disk_rejects: AtomicU64::new(0),
+            disk_evictions: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
         }
     }
 
@@ -141,10 +461,69 @@ impl SimCache {
         GLOBAL.get_or_init(SimCache::new)
     }
 
+    fn shard(&self, key: &CellKey) -> &Mutex<Shard> {
+        &self.shards[(key.fnv() as usize) & (SHARD_COUNT - 1)]
+    }
+
     /// Enables (or disables, with `None`) the persistent layer. Created
     /// lazily on first write; existing entries are picked up on misses.
+    /// Loads (or initializes) the directory's LRU index and reconciles
+    /// it with the files actually present; entries touched from here on
+    /// belong to the current run and are exempt from eviction.
     pub fn set_persist_dir(&self, dir: Option<PathBuf>) {
-        *self.persist_dir.lock().expect("cache lock") = dir;
+        let mut persist = self.persist.lock().expect("cache persist lock");
+        persist.index = DiskIndex::default();
+        persist.total_bytes = 0;
+        persist.run_floor = 0;
+        persist.dir = dir;
+        let Some(dir) = persist.dir.clone() else {
+            return;
+        };
+        // Load the index (a corrupt index just starts empty — it is
+        // bookkeeping, not data) and reconcile it with the directory:
+        // drop entries whose file vanished, adopt files it never saw
+        // (another process, an older layout) as least-recently used,
+        // and sweep stale temp files from crashed writers.
+        if let Ok(text) = std::fs::read_to_string(dir.join(Self::INDEX_NAME)) {
+            if let Ok(index) = serde_json::from_str::<DiskIndex>(&text) {
+                persist.index = index;
+            }
+        }
+        let mut present: HashMap<String, u64> = HashMap::new();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".tmp") {
+                    let _ = std::fs::remove_file(entry.path());
+                    continue;
+                }
+                if name.starts_with("cell-") && name.ends_with(".json") {
+                    let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    present.insert(name, bytes);
+                }
+            }
+        }
+        persist
+            .index
+            .entries
+            .retain(|name, _| present.contains_key(name));
+        for (name, bytes) in present {
+            persist
+                .index
+                .entries
+                .entry(name)
+                .or_insert(DiskEntry { bytes, last_use: 0 });
+        }
+        persist.total_bytes = persist.index.entries.values().map(|e| e.bytes).sum();
+        persist.run_floor = persist.index.clock + 1;
+    }
+
+    /// Sets the persistent layer's size budget in bytes (`repro
+    /// --cache-budget`). Takes effect on the next write — eviction only
+    /// ever runs after a store, and never touches cells used by the
+    /// current run.
+    pub fn set_disk_budget(&self, bytes: u64) {
+        self.persist.lock().expect("cache persist lock").budget = bytes;
     }
 
     /// Drops every in-memory cell and restores the prediction budget
@@ -153,8 +532,36 @@ impl SimCache {
     /// determinism suites, which would otherwise compare a simulation
     /// against its own memoized result.
     pub fn clear_memory(&self) {
-        self.cells.lock().expect("cache lock").clear();
-        *self.prediction_budget.lock().expect("cache lock") = Self::PREDICTION_BUDGET;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock");
+            shard.cells.clear();
+            shard.prediction_budget = Self::PREDICTION_BUDGET / SHARD_COUNT;
+        }
+    }
+
+    /// Overrides the total in-memory prediction budget, splitting it
+    /// evenly across shards (remainder to the first). Test/bench
+    /// instrumentation — experiments use the default.
+    pub fn set_prediction_budget(&self, total: usize) {
+        let slice = total / SHARD_COUNT;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut shard = shard.lock().expect("cache shard lock");
+            shard.prediction_budget = if i == 0 {
+                slice + total % SHARD_COUNT
+            } else {
+                slice
+            };
+        }
+    }
+
+    /// Prediction-budget elements still unspent, summed over shards.
+    /// With [`SimCache::set_prediction_budget`], pins budget accounting
+    /// in tests (e.g. exactly-once accounting under single-flight).
+    pub fn prediction_budget_remaining(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").prediction_budget)
+            .sum()
     }
 
     /// Cumulative accounting since process start.
@@ -163,32 +570,73 @@ impl SimCache {
             simulated: self.simulated.load(Ordering::Relaxed),
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            disk_rejects: self.disk_rejects.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One shard lookup: a ready cell, a flight to join, or leadership
+    /// of the miss.
+    fn claim(&self, key: &CellKey) -> Claim<'_> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        match shard.cells.get(key) {
+            Some(Slot::Ready(cell)) => Claim::Hit(cell.clone()),
+            Some(Slot::InFlight(flight)) => Claim::Wait(flight.clone()),
+            None => {
+                let flight = Arc::new(Flight::new());
+                shard
+                    .cells
+                    .insert(key.clone(), Slot::InFlight(flight.clone()));
+                Claim::Lead(Lease {
+                    cache: self,
+                    key: key.clone(),
+                    flight,
+                    fulfilled: false,
+                })
+            }
         }
     }
 
     /// A non-simulating lookup: the memoized cell if either layer holds
-    /// it, else `None` (counted as a hit only when found). The `--prune`
-    /// sweep uses this to prefer an exact memoized value over an
-    /// early-abort bound.
+    /// it, else `None` (counted as a hit only when found). Joins an
+    /// in-flight simulation of the cell rather than returning `None` —
+    /// the exact value another worker is already computing beats
+    /// anything the caller would do on a miss. The `--prune` sweep uses
+    /// this to prefer an exact memoized value over an early-abort bound.
     pub fn peek(
         &self,
         arena: &JobArena,
         cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Option<CachedCell> {
-        let key = CellKey {
-            fingerprint: arena.fingerprint(),
-            cluster: cluster.to_string(),
-            triple: triple.name(),
-        };
-        if let Some(cell) = self.cells.lock().expect("cache lock").get(&key) {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(cell.clone());
+        let key = CellKey::new(arena, cluster, triple);
+        loop {
+            match self.claim(&key) {
+                Claim::Hit(cell) => {
+                    self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(cell);
+                }
+                Claim::Wait(flight) => {
+                    if let Some(cell) = flight.wait() {
+                        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Some(cell);
+                    }
+                    // Leader failed; re-examine the shard.
+                }
+                Claim::Lead(lease) => {
+                    return match self.load_disk(&key) {
+                        Some(cell) => {
+                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            lease.fulfill(cell.clone());
+                            Some(cell)
+                        }
+                        None => None, // lease drop withdraws the marker
+                    };
+                }
+            }
         }
-        let cell = self.load_disk(&key)?;
-        self.disk_hits.fetch_add(1, Ordering::Relaxed);
-        self.insert(key, cell.clone(), false);
-        Some(cell)
     }
 
     /// Runs (or recalls) one cell: `triple` on the `arena` workload on
@@ -200,32 +648,65 @@ impl SimCache {
         cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Result<CachedCell, ScenarioError> {
-        let key = CellKey {
-            fingerprint: arena.fingerprint(),
-            cluster: cluster.to_string(),
-            triple: triple.name(),
-        };
-        if let Some(cell) = self.cells.lock().expect("cache lock").get(&key) {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(cell.clone());
-        }
-        if let Some(cell) = self.load_disk(&key) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            self.insert(key, cell.clone(), false);
-            return Ok(cell);
-        }
+        self.run_cell_traced(arena, cluster, triple)
+            .map(|(cell, _)| cell)
+    }
 
-        self.simulated.fetch_add(1, Ordering::Relaxed);
-        let sim =
-            Scenario::from_triple(triple).run_on(arena, predictsim_sim::SimConfig { cluster })?;
-        let result = TripleResult::from_sim(triple, &sim);
-        let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
-        let cell = CachedCell {
-            result,
-            predictions: Some(Arc::new(predictions)),
-        };
-        self.insert(key, cell.clone(), true);
-        Ok(cell)
+    /// [`SimCache::run_cell`], also reporting which layer served the
+    /// cell (progress lines and tests).
+    pub fn run_cell_traced(
+        &self,
+        arena: &JobArena,
+        cluster: ClusterSpec,
+        triple: &HeuristicTriple,
+    ) -> Result<(CachedCell, CellSource), ScenarioError> {
+        let key = CellKey::new(arena, cluster, triple);
+        loop {
+            match self.claim(&key) {
+                Claim::Hit(cell) => {
+                    self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((cell, CellSource::Memory));
+                }
+                Claim::Wait(flight) => {
+                    if let Some(cell) = flight.wait() {
+                        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Ok((cell, CellSource::Coalesced));
+                    }
+                    // Leader failed; retry — this thread may become the
+                    // next leader and surface the error itself.
+                }
+                Claim::Lead(lease) => {
+                    // Disk probe and simulation both run outside every
+                    // shard lock; only same-cell requesters wait.
+                    if let Some(cell) = self.load_disk(&key) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        lease.fulfill(cell.clone());
+                        return Ok((cell, CellSource::Disk));
+                    }
+                    self.simulated.fetch_add(1, Ordering::Relaxed);
+                    // On error the lease drop withdraws the marker and
+                    // releases the waiters before `?` propagates.
+                    let sim = Scenario::from_triple(triple)
+                        .run_on(arena, predictsim_sim::SimConfig { cluster })?;
+                    let result = TripleResult::from_sim(triple, &sim);
+                    let predictions: Vec<i64> =
+                        sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+                    let cell = CachedCell {
+                        result,
+                        predictions: Some(Arc::new(predictions)),
+                    };
+                    // Persist first: the disk layer's budget is far
+                    // larger, and dropping the predictions before
+                    // writing would silently break the "repeated
+                    // --cache run simulates zero cells" contract once
+                    // the in-memory budget is exhausted.
+                    self.store_disk(&key, &cell);
+                    lease.fulfill(cell.clone());
+                    return Ok((cell, CellSource::Simulated));
+                }
+            }
+        }
     }
 
     /// Like [`SimCache::run_cell`], but guarantees the predictions are
@@ -237,22 +718,34 @@ impl SimCache {
         cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Result<(TripleResult, Arc<Vec<i64>>), ScenarioError> {
-        let cell = self.run_cell(arena, cluster, triple)?;
+        self.run_cell_full_traced(arena, cluster, triple)
+            .map(|(result, predictions, _)| (result, predictions))
+    }
+
+    /// [`SimCache::run_cell_full`], also reporting the serving layer.
+    pub fn run_cell_full_traced(
+        &self,
+        arena: &JobArena,
+        cluster: ClusterSpec,
+        triple: &HeuristicTriple,
+    ) -> Result<(TripleResult, Arc<Vec<i64>>, CellSource), ScenarioError> {
+        let (cell, source) = self.run_cell_traced(arena, cluster, triple)?;
         if let Some(predictions) = cell.predictions {
-            return Ok((cell.result, predictions));
+            return Ok((cell.result, predictions, source));
         }
         self.simulated.fetch_add(1, Ordering::Relaxed);
         let sim =
             Scenario::from_triple(triple).run_on(arena, predictsim_sim::SimConfig { cluster })?;
         let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
-        Ok((cell.result, Arc::new(predictions)))
+        Ok((cell.result, Arc::new(predictions), CellSource::Simulated))
     }
 
     /// Records a cell that was simulated outside [`SimCache::run_cell`]
     /// (the prune sweep's fully completed, non-aborted phase-2 runs):
     /// counts it as simulated, memoizes it, and persists it like any
-    /// run_cell miss. Never call this with early-abort bounds — only
-    /// exact results belong in the cache.
+    /// run_cell miss. If another worker has the same cell in flight,
+    /// its waiters are handed this value. Never call this with
+    /// early-abort bounds — only exact results belong in the cache.
     pub(crate) fn record_simulated(
         &self,
         arena: &JobArena,
@@ -262,62 +755,114 @@ impl SimCache {
         predictions: Vec<i64>,
     ) {
         self.simulated.fetch_add(1, Ordering::Relaxed);
-        let key = CellKey {
-            fingerprint: arena.fingerprint(),
-            cluster: cluster.to_string(),
-            triple: triple.name(),
-        };
+        let key = CellKey::new(arena, cluster, triple);
         let cell = CachedCell {
             result,
             predictions: Some(Arc::new(predictions)),
         };
-        self.insert(key, cell, true);
+        self.store_disk(&key, &cell);
+        if let Some(flight) = self.install(key, cell.clone()) {
+            flight.finish(Some(cell));
+        }
     }
 
-    fn insert(&self, key: CellKey, mut cell: CachedCell, persist: bool) {
-        // Persist first: the disk layer has no budget, and dropping the
-        // predictions before writing would silently break the
-        // "repeated --cache run simulates zero cells" contract once the
-        // in-memory budget is exhausted (full-scale runs).
-        if persist {
-            self.store_disk(&key, &cell);
+    /// Installs a finished cell into its shard, enforcing the shard's
+    /// prediction-budget slice. Replacing an existing cell refunds its
+    /// vector first (budget-neutral re-insert). Returns the in-flight
+    /// marker this install displaced, if any — the caller must resolve
+    /// it so its waiters wake.
+    fn install(&self, key: CellKey, mut cell: CachedCell) -> Option<Arc<Flight>> {
+        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        if let Some(Slot::Ready(old)) = shard.cells.get(&key) {
+            if let Some(old_predictions) = &old.predictions {
+                shard.prediction_budget += old_predictions.len();
+            }
         }
         if let Some(predictions) = &cell.predictions {
-            let mut budget = self.prediction_budget.lock().expect("cache lock");
-            if *budget >= predictions.len() {
-                *budget -= predictions.len();
+            if shard.prediction_budget >= predictions.len() {
+                shard.prediction_budget -= predictions.len();
             } else {
                 cell.predictions = None;
             }
         }
-        self.cells.lock().expect("cache lock").insert(key, cell);
+        match shard.cells.insert(key, Slot::Ready(cell)) {
+            Some(Slot::InFlight(flight)) => Some(flight),
+            _ => None,
+        }
     }
 
-    /// Stable file name for a key: [`crate::source::fnv1a64`] over the
-    /// key's fields.
-    fn file_of(dir: &Path, key: &CellKey) -> PathBuf {
-        let hash = crate::source::fnv1a64(
-            key.fingerprint
-                .to_le_bytes()
-                .into_iter()
-                .chain(key.cluster.bytes())
-                .chain(key.triple.bytes()),
-        );
-        dir.join(format!("cell-{hash:016x}.json"))
+    /// Name of the LRU index file inside a persistent cache directory.
+    pub const INDEX_NAME: &'static str = "index.json";
+
+    /// A collision-free temp path next to `path`: pid + per-process
+    /// sequence, so concurrent threads *and* concurrent processes
+    /// sharing one cache directory each write their own temp file and
+    /// the final rename stays atomic-or-nothing.
+    fn unique_tmp(&self, path: &Path) -> PathBuf {
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let mut name = path.as_os_str().to_owned();
+        name.push(format!(".{}-{}.tmp", std::process::id(), seq));
+        PathBuf::from(name)
+    }
+
+    /// Best-effort atomic write: serialize to a unique temp file, then
+    /// rename into place.
+    fn write_atomic(&self, path: &Path, contents: &str) -> bool {
+        let tmp = self.unique_tmp(path);
+        if std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+            true
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+            false
+        }
+    }
+
+    /// Persists the LRU index (call with fresh index state; takes the
+    /// persist lock only long enough to snapshot it).
+    fn save_index(&self, dir: &Path, index: &DiskIndex) {
+        if let Ok(json) = serde_json::to_string(index) {
+            self.write_atomic(&dir.join(Self::INDEX_NAME), &json);
+        }
     }
 
     fn load_disk(&self, key: &CellKey) -> Option<CachedCell> {
-        let dir = self.persist_dir.lock().expect("cache lock").clone()?;
-        let text = std::fs::read_to_string(Self::file_of(&dir, key)).ok()?;
-        let disk: DiskCell = serde_json::from_str(&text).ok()?;
-        // Verify the full key: a file-name hash collision or a stale
-        // entry must never serve the wrong cell.
-        if disk.fingerprint != key.fingerprint
-            || disk.cluster != key.cluster
-            || disk.triple != key.triple
-        {
+        let dir = self
+            .persist
+            .lock()
+            .expect("cache persist lock")
+            .dir
+            .clone()?;
+        let file_name = key.file_name();
+        let path = dir.join(&file_name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // No file (or unreadable): a plain miss. Drop any stale
+            // index entry so the LRU accounting stays honest after an
+            // external deletion.
+            let mut persist = self.persist.lock().expect("cache persist lock");
+            persist.forget(&file_name);
             return None;
-        }
+        };
+        // Verify both the encoding and the full key: a truncated write,
+        // a file-name hash collision or a stale entry must never serve
+        // the wrong cell — and must not be silently re-read (and
+        // re-missed) every run. Reject: count, delete, re-simulate.
+        let verified = serde_json::from_str::<DiskCell>(&text).ok().filter(|disk| {
+            disk.fingerprint == key.fingerprint
+                && disk.cluster == key.cluster
+                && disk.triple == key.triple
+        });
+        let Some(disk) = verified else {
+            self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+            let _ = std::fs::remove_file(&path);
+            let mut persist = self.persist.lock().expect("cache persist lock");
+            persist.forget(&file_name);
+            let index = persist.index.clone();
+            drop(persist);
+            self.save_index(&dir, &index);
+            return None;
+        };
+        let mut persist = self.persist.lock().expect("cache persist lock");
+        persist.touch(&file_name, text.len() as u64);
         Some(CachedCell {
             result: disk.result,
             predictions: Some(Arc::new(disk.predictions)),
@@ -325,7 +870,7 @@ impl SimCache {
     }
 
     fn store_disk(&self, key: &CellKey, cell: &CachedCell) {
-        let Some(dir) = self.persist_dir.lock().expect("cache lock").clone() else {
+        let Some(dir) = self.persist.lock().expect("cache persist lock").dir.clone() else {
             return;
         };
         let Some(predictions) = &cell.predictions else {
@@ -338,16 +883,47 @@ impl SimCache {
             result: cell.result.clone(),
             predictions: predictions.as_ref().clone(),
         };
-        let path = Self::file_of(&dir, key);
+        let file_name = key.file_name();
+        let path = dir.join(&file_name);
         // Persistence is best-effort: a read-only or full disk must not
         // fail the experiment, only forgo the cache.
         let _ = std::fs::create_dir_all(&dir);
-        if let Ok(json) = serde_json::to_string(&disk) {
-            let tmp = path.with_extension("tmp");
-            if std::fs::write(&tmp, json).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
-            }
+        let Ok(json) = serde_json::to_string(&disk) else {
+            return;
+        };
+        if !self.write_atomic(&path, &json) {
+            return;
         }
+        // Account the write in the LRU index, then evict past-budget
+        // cells — least-recently-used first, never cells this run
+        // touched.
+        let mut persist = self.persist.lock().expect("cache persist lock");
+        persist.forget(&file_name);
+        persist.touch(&file_name, json.len() as u64);
+        let mut evicted: Vec<PathBuf> = Vec::new();
+        while persist.total_bytes > persist.budget {
+            let run_floor = persist.run_floor;
+            let victim = persist
+                .index
+                .entries
+                .iter()
+                .filter(|(_, e)| e.last_use < run_floor)
+                .min_by_key(|(name, e)| (e.last_use, (*name).clone()))
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else {
+                break; // only mid-run entries remain: never evict those
+            };
+            persist.forget(&victim);
+            evicted.push(dir.join(&victim));
+        }
+        let index = persist.index.clone();
+        drop(persist);
+        for path in &evicted {
+            let _ = std::fs::remove_file(path);
+        }
+        self.disk_evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        self.save_index(&dir, &index);
     }
 }
 
@@ -370,19 +946,29 @@ mod tests {
         SimCache::new()
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("predictsim-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn second_lookup_is_a_memory_hit_with_identical_payload() {
         let cache = private();
         let (arena, m) = tiny_arena(3);
         let triple = HeuristicTriple::easy_plus_plus();
-        let fresh = cache.run_cell(&arena, m, &triple).unwrap();
-        let again = cache.run_cell(&arena, m, &triple).unwrap();
+        let (fresh, src) = cache.run_cell_traced(&arena, m, &triple).unwrap();
+        assert_eq!(src, CellSource::Simulated);
+        let (again, src) = cache.run_cell_traced(&arena, m, &triple).unwrap();
+        assert_eq!(src, CellSource::Memory);
         assert_eq!(fresh.result, again.result);
         assert_eq!(fresh.predictions.as_deref(), again.predictions.as_deref());
         let stats = cache.stats();
         assert_eq!(stats.simulated, 1);
         assert_eq!(stats.memory_hits, 1);
         assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.coalesced, 0);
     }
 
     #[test]
@@ -453,9 +1039,7 @@ mod tests {
 
     #[test]
     fn persistent_layer_round_trips_and_verifies_keys() {
-        let dir =
-            std::env::temp_dir().join(format!("predictsim-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("roundtrip");
         let (arena, m) = tiny_arena(7);
         let triple = HeuristicTriple::easy_plus_plus();
 
@@ -485,21 +1069,17 @@ mod tests {
 
     #[test]
     fn exhausted_budget_still_persists_full_cells_to_disk() {
-        let dir = std::env::temp_dir().join(format!(
-            "predictsim-cache-budget-test-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("budget-disk");
         let (arena, m) = tiny_arena(11);
         let triple = HeuristicTriple::standard_easy();
 
         let writer = private();
         writer.set_persist_dir(Some(dir.clone()));
-        *writer.prediction_budget.lock().unwrap() = 0; // memory budget gone
+        writer.set_prediction_budget(0); // memory budget gone
         let fresh = writer.run_cell(&arena, m, &triple).unwrap();
 
-        // The disk layer has no budget: a fresh process must still be
-        // served the complete cell without simulating.
+        // The disk layer has no prediction budget: a fresh process must
+        // still be served the complete cell without simulating.
         let reader = private();
         reader.set_persist_dir(Some(dir.clone()));
         let recalled = reader.run_cell(&arena, m, &triple).unwrap();
@@ -515,11 +1095,7 @@ mod tests {
 
     #[test]
     fn record_simulated_memoizes_persists_and_counts() {
-        let dir = std::env::temp_dir().join(format!(
-            "predictsim-cache-record-test-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("record");
         let (arena, m) = tiny_arena(12);
         let triple = HeuristicTriple::easy_plus_plus();
 
@@ -554,7 +1130,7 @@ mod tests {
     #[test]
     fn exhausted_budget_drops_predictions_but_keeps_aggregates() {
         let cache = private();
-        *cache.prediction_budget.lock().unwrap() = 10; // tiny budget
+        cache.set_prediction_budget(10); // tiny budget
         let (arena, m) = tiny_arena(9);
         let triple = HeuristicTriple::standard_easy();
         let cell = cache.run_cell(&arena, m, &triple).unwrap();
@@ -569,5 +1145,184 @@ mod tests {
             Some(predictions.as_slice()),
             cell.predictions.as_deref().map(|p| p.as_slice())
         );
+    }
+
+    /// Re-inserting a key must refund the replaced cell's prediction
+    /// vector before charging the new one: the budget is neutral across
+    /// double-inserts (the pre-sharding cache leaked it until
+    /// `clear_memory`).
+    #[test]
+    fn reinsert_is_prediction_budget_neutral() {
+        let (arena, m) = tiny_arena(16);
+        let triple = HeuristicTriple::easy_plus_plus();
+        let sim = Scenario::from_triple(&triple)
+            .run_on(&arena, predictsim_sim::SimConfig { cluster: m })
+            .unwrap();
+        let result = TripleResult::from_sim(&triple, &sim);
+        let predictions: Vec<i64> = sim.outcomes.iter().map(|o| o.initial_prediction).collect();
+
+        let cache = private();
+        let full = cache.prediction_budget_remaining();
+        cache.record_simulated(&arena, m, &triple, result.clone(), predictions.clone());
+        let after_first = cache.prediction_budget_remaining();
+        assert_eq!(after_first, full - predictions.len());
+        // Same key again (racing miss / disk-hit promotion / repeated
+        // prune record): spend must not double.
+        cache.record_simulated(&arena, m, &triple, result.clone(), predictions.clone());
+        assert_eq!(
+            cache.prediction_budget_remaining(),
+            after_first,
+            "double insert must be budget-neutral"
+        );
+        // And clearing restores the full budget exactly.
+        cache.clear_memory();
+        assert_eq!(
+            cache.prediction_budget_remaining(),
+            SimCache::PREDICTION_BUDGET
+        );
+    }
+
+    /// A truncated (or otherwise unparseable) cache file is rejected:
+    /// counted, deleted, and the cell re-simulated exactly once — after
+    /// which the rewritten file serves future runs again.
+    #[test]
+    fn corrupt_cache_file_is_rejected_deleted_and_resimulated() {
+        let dir = temp_dir("corrupt");
+        let (arena, m) = tiny_arena(21);
+        let triple = HeuristicTriple::standard_easy();
+
+        let writer = private();
+        writer.set_persist_dir(Some(dir.clone()));
+        let fresh = writer.run_cell(&arena, m, &triple).unwrap();
+
+        // Truncate the cell file mid-JSON.
+        let key = CellKey::new(&arena, m, &triple);
+        let path = dir.join(key.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let reader = private();
+        reader.set_persist_dir(Some(dir.clone()));
+        let recovered = reader.run_cell(&arena, m, &triple).unwrap();
+        let stats = reader.stats();
+        assert_eq!(stats.disk_rejects, 1, "corrupt file must be counted");
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.simulated, 1, "the cell re-simulates once");
+        assert_eq!(recovered.result, fresh.result);
+
+        // The rewritten file is valid again for a third process.
+        let third = private();
+        third.set_persist_dir(Some(dir.clone()));
+        third.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(third.stats().disk_hits, 1);
+        assert_eq!(third.stats().disk_rejects, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A parseable file whose embedded key disagrees with its name
+    /// (hash collision or a stale/foreign entry) is rejected the same
+    /// way, not served and not left to be re-read every run.
+    #[test]
+    fn key_mismatched_cache_file_is_rejected() {
+        let dir = temp_dir("mismatch");
+        let (arena, m) = tiny_arena(22);
+        let (other, mo) = tiny_arena(23);
+        let triple = HeuristicTriple::standard_easy();
+
+        let writer = private();
+        writer.set_persist_dir(Some(dir.clone()));
+        writer.run_cell(&other, mo, &triple).unwrap();
+
+        // Masquerade the other workload's cell as this workload's file.
+        let theirs = dir.join(CellKey::new(&other, mo, &triple).file_name());
+        let ours = dir.join(CellKey::new(&arena, m, &triple).file_name());
+        std::fs::copy(&theirs, &ours).unwrap();
+
+        let reader = private();
+        reader.set_persist_dir(Some(dir.clone()));
+        reader.run_cell(&arena, m, &triple).unwrap();
+        assert_eq!(reader.stats().disk_rejects, 1);
+        assert_eq!(reader.stats().simulated, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The disk layer's LRU: past the size budget, the least recently
+    /// used cells of *previous* runs are evicted; cells touched by the
+    /// current run never are.
+    #[test]
+    fn disk_layer_evicts_lru_past_budget_but_never_current_run_cells() {
+        let dir = temp_dir("lru");
+        let (a, ma) = tiny_arena(24);
+        let (b, mb) = tiny_arena(25);
+        let (c, mc) = tiny_arena(26);
+        let triple = HeuristicTriple::standard_easy();
+
+        // Run 1: store A then B (B more recently used), generous budget.
+        let run1 = private();
+        run1.set_persist_dir(Some(dir.clone()));
+        run1.run_cell(&a, ma, &triple).unwrap();
+        run1.run_cell(&b, mb, &triple).unwrap();
+        let file_a = dir.join(CellKey::new(&a, ma, &triple).file_name());
+        let file_b = dir.join(CellKey::new(&b, mb, &triple).file_name());
+        assert!(file_a.exists() && file_b.exists());
+
+        // Run 2: a budget that fits roughly one cell. Touch B (making
+        // it a current-run cell), then store C: A — the LRU entry from
+        // a previous run — must be evicted; B and C must survive.
+        let cell_bytes = std::fs::metadata(&file_a).unwrap().len();
+        let run2 = private();
+        run2.set_persist_dir(Some(dir.clone()));
+        run2.set_disk_budget(2 * cell_bytes);
+        run2.run_cell(&b, mb, &triple).unwrap(); // disk hit: touches B
+        run2.run_cell(&c, mc, &triple).unwrap(); // store pushes past budget
+        let file_c = dir.join(CellKey::new(&c, mc, &triple).file_name());
+        assert!(!file_a.exists(), "LRU cell from a previous run evicted");
+        assert!(file_b.exists(), "cell touched by the current run kept");
+        assert!(file_c.exists(), "the fresh cell is kept");
+        assert_eq!(run2.stats().disk_evictions, 1);
+
+        // Even a zero budget never evicts current-run cells.
+        let run3 = private();
+        run3.set_persist_dir(Some(dir.clone()));
+        run3.set_disk_budget(0);
+        run3.run_cell(&a, ma, &triple).unwrap(); // re-simulates, stores A
+        assert!(file_a.exists(), "the cell this run wrote is protected");
+        assert!(
+            !file_b.exists() && !file_c.exists(),
+            "previous-run cells go"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Temp files are unique and never left behind: after any mix of
+    /// stores, the directory holds only final `cell-*.json` files and
+    /// the index.
+    #[test]
+    fn stores_leave_no_temp_files() {
+        let dir = temp_dir("tmpfiles");
+        let (a, ma) = tiny_arena(27);
+        let (b, mb) = tiny_arena(28);
+        let cache = private();
+        cache.set_persist_dir(Some(dir.clone()));
+        cache
+            .run_cell(&a, ma, &HeuristicTriple::standard_easy())
+            .unwrap();
+        cache
+            .run_cell(&b, mb, &HeuristicTriple::easy_plus_plus())
+            .unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            assert!(
+                !name.ends_with(".tmp"),
+                "temp file {name} must not survive a store"
+            );
+        }
+        // And stale temp litter from a crashed writer is swept when the
+        // directory is (re)opened.
+        std::fs::write(dir.join("cell-dead.json.999-0.tmp"), "torn").unwrap();
+        let reopened = private();
+        reopened.set_persist_dir(Some(dir.clone()));
+        assert!(!dir.join("cell-dead.json.999-0.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -165,13 +165,16 @@ fn run_campaign_arena(
     triples: &[HeuristicTriple],
 ) -> CampaignResult {
     let cache = SimCache::global();
+    let progress = crate::progress::CellProgress::new(format!("campaign {log}"), triples.len());
     let results: Vec<TripleResult> = triples
         .par_iter()
         .map(|triple| {
-            cache
-                .run_cell(arena, cluster, triple)
-                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()))
-                .result
+            let started = crate::progress::start();
+            let (cell, source) = cache
+                .run_cell_traced(arena, cluster, triple)
+                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
+            progress.cell_done(&triple.name(), source, started);
+            cell.result
         })
         .collect();
     CampaignResult {
@@ -398,13 +401,19 @@ pub fn run_campaign_pruned(
 
     // Phase 1: exact exempt cells fix the threshold.
     let exempt: Vec<&HeuristicTriple> = triples.iter().filter(|t| prune_exempt(t)).collect();
+    let progress = crate::progress::CellProgress::new(
+        format!("prune {} baselines", workload.name),
+        exempt.len(),
+    );
     let exempt_results: Vec<TripleResult> = exempt
         .par_iter()
         .map(|triple| {
-            cache
-                .run_cell(arena, cluster, triple)
-                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()))
-                .result
+            let started = crate::progress::start();
+            let (cell, source) = cache
+                .run_cell_traced(arena, cluster, triple)
+                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
+            progress.cell_done(&triple.name(), source, started);
+            cell.result
         })
         .collect();
     let threshold = exempt_results
@@ -418,6 +427,10 @@ pub fn run_campaign_pruned(
         .collect();
 
     // Phase 2: everything else, with the early-abort observer.
+    let progress = crate::progress::CellProgress::new(
+        format!("prune {} sweep", workload.name),
+        triples.len() - exempt.len(),
+    );
     let results: Vec<(TripleResult, bool)> = triples
         .par_iter()
         .map(|triple| {
@@ -426,8 +439,10 @@ pub fn run_campaign_pruned(
             }
             // An exact memoized value beats an early-abort bound.
             if let Some(cell) = cache.peek(arena, cluster, triple) {
+                progress.cell_recalled(&triple.name());
                 return (cell.result, false);
             }
+            let started = crate::progress::start();
             let mut observer = PruneObserver::new(arena.len(), threshold);
             let outcome = crate::scenario::run_triple_with_scratch(
                 triple,
@@ -446,9 +461,15 @@ pub fn run_campaign_pruned(
                     let predictions: Vec<i64> =
                         sim.outcomes.iter().map(|o| o.initial_prediction).collect();
                     cache.record_simulated(arena, cluster, triple, result.clone(), predictions);
+                    progress.cell_done(
+                        &triple.name(),
+                        crate::cache::CellSource::Simulated,
+                        started,
+                    );
                     (result, false)
                 }
                 Err(predictsim_sim::SimError::Aborted { .. }) => {
+                    progress.cell_pruned(&triple.name(), started);
                     (observer.partial_result(triple, machine_size), true)
                 }
                 Err(e) => panic!("triple {} failed: {e}", triple.name()),

@@ -152,6 +152,10 @@ pub fn cross_validate(campaigns: &[CampaignResult]) -> CvOutcome {
         .map(|i| {
             let held_out = &campaigns[i];
             let selected = select_triple(campaigns, i);
+            crate::progress::emit(&format!(
+                "cv fold {} held out — selected {selected}",
+                held_out.log
+            ));
             CvRow {
                 log: held_out.log.clone(),
                 cv_bsld: held_out.bsld_of(&selected),

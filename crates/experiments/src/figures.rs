@@ -138,19 +138,22 @@ fn run_technique(
     workload: &LoadedWorkload,
     label: &str,
     prediction: PredictionTechnique,
+    progress: &crate::progress::CellProgress,
 ) -> (String, Arc<Vec<i64>>) {
     let triple = HeuristicTriple {
         prediction,
         correction: Some(CorrectionKind::Incremental),
         variant: Variant::EasySjbf,
     };
-    let (_, predictions) = SimCache::global()
-        .run_cell_full(
+    let started = crate::progress::start();
+    let (_, predictions, source) = SimCache::global()
+        .run_cell_full_traced(
             &workload.jobs,
             predictsim_sim::ClusterSpec::single(workload.machine_size),
             &triple,
         )
         .expect("figure simulation failed");
+    progress.cell_done(&triple.name(), source, started);
     (label.to_string(), predictions)
 }
 
@@ -178,9 +181,10 @@ pub fn fig4_fig5(workload: &LoadedWorkload, points: usize) -> Fig45 {
         ),
         ("AVE2(k)", PredictionTechnique::Ave2),
     ];
+    let progress = crate::progress::CellProgress::new("fig4+fig5", techniques.len());
     let runs: Vec<(String, Arc<Vec<i64>>)> = techniques
         .into_par_iter()
-        .map(|(label, prediction)| run_technique(workload, label, prediction))
+        .map(|(label, prediction)| run_technique(workload, label, prediction, &progress))
         .collect();
 
     // The granted running time per job (what a `JobOutcome` records as

@@ -19,7 +19,9 @@
 //!   optimizer, basis, loss shape);
 //! * [`context`] — workload setup shared by the `repro` binary, tests
 //!   and benches;
-//! * [`timing`] — per-phase wall-clock accounting for `repro --timing`.
+//! * [`timing`] — per-phase wall-clock accounting for `repro --timing`;
+//! * [`progress`] — opt-in per-cell progress lines for long runs
+//!   (`repro --progress`, implied by `--full`).
 //!
 //! Every fan-out site (campaign triples, CV folds, ablation grids,
 //! per-log table loops, figure simulations) runs on the `vendor/rayon`
@@ -43,6 +45,7 @@ pub mod campaign;
 pub mod context;
 pub mod cv;
 pub mod figures;
+pub mod progress;
 pub mod registry;
 pub mod scenario;
 pub mod source;
@@ -50,7 +53,7 @@ pub mod tables;
 pub mod timing;
 pub mod triple;
 
-pub use cache::{CacheStats, CachedCell, SimCache};
+pub use cache::{CacheStats, CachedCell, CellSource, SimCache};
 pub use campaign::{
     run_campaign, run_campaign_cluster, run_campaign_loaded, CampaignResult, TripleResult,
 };

@@ -1,0 +1,148 @@
+//! Opt-in per-cell progress lines for long repro runs.
+//!
+//! A full-scale campaign is hours of wall-clock across hundreds of
+//! cells; with the persistent cache a killed run resumes from disk, but
+//! only if the operator can see how far it got. When enabled (`repro
+//! --progress`, implied by `--full`) every experiment fan-out reports
+//! each finished cell to **stderr** — stdout artifacts stay clean — as
+//!
+//! ```text
+//! progress: campaign KTH-SP2 [17/130] sqrt*p+easy-sjbf — simulated in 12.41s
+//! progress: campaign KTH-SP2 [18/130] ave2+easy — disk hit
+//! ```
+//!
+//! so `repro ... 2>progress.log` doubles as a resume journal: grep the
+//! last line per experiment to see where a killed run stopped.
+//!
+//! Disabled (the default) this module is a handful of relaxed atomic
+//! loads — no formatting, no clock reads, no lock — so the quick-scale
+//! and test paths pay nothing.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::cache::CellSource;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns progress reporting on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether progress reporting is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A start-of-cell timestamp — `None` when reporting is off, so the
+/// disabled path never reads the clock.
+pub fn start() -> Option<Instant> {
+    enabled().then(Instant::now)
+}
+
+/// Emits one free-form progress line (fold selections, phase notes).
+pub fn emit(line: &str) {
+    if enabled() {
+        eprintln!("progress: {line}");
+    }
+}
+
+/// Per-fan-out progress: counts finished cells against a known total
+/// and reports each with its serving layer. Shared by reference across
+/// parallel workers.
+pub struct CellProgress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+}
+
+impl CellProgress {
+    /// A new counter for `total` cells under the given display label
+    /// (e.g. `campaign KTH-SP2`).
+    pub fn new(label: impl Into<String>, total: usize) -> Self {
+        CellProgress {
+            label: label.into(),
+            total,
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reports one finished cell: where it came from and — for true
+    /// simulations, when the caller captured [`start`] — how long it
+    /// took.
+    pub fn cell_done(&self, cell: &str, source: CellSource, started: Option<Instant>) {
+        if !enabled() {
+            return;
+        }
+        let how = match source {
+            CellSource::Simulated => match started {
+                Some(t0) => format!("simulated in {:.2}s", t0.elapsed().as_secs_f64()),
+                None => "simulated".to_string(),
+            },
+            CellSource::Memory => "memory hit".to_string(),
+            CellSource::Disk => "disk hit".to_string(),
+            CellSource::Coalesced => "coalesced with an in-flight simulation".to_string(),
+        };
+        self.line(cell, &how);
+    }
+
+    /// Reports a cell the `--prune` sweep early-aborted as dominated.
+    pub fn cell_pruned(&self, cell: &str, started: Option<Instant>) {
+        if !enabled() {
+            return;
+        }
+        let how = match started {
+            Some(t0) => format!("pruned (dominated) in {:.2}s", t0.elapsed().as_secs_f64()),
+            None => "pruned (dominated)".to_string(),
+        };
+        self.line(cell, &how);
+    }
+
+    /// Reports a cell served by a non-simulating recall whose layer the
+    /// caller cannot see (a `peek`).
+    pub fn cell_recalled(&self, cell: &str) {
+        if !enabled() {
+            return;
+        }
+        self.line(cell, "recalled");
+    }
+
+    fn line(&self, cell: &str, how: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "progress: {} [{}/{}] {} — {}",
+            self.label, done, self.total, cell, how
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggleable() {
+        // The global flag is shared across tests; restore it.
+        let was = enabled();
+        set_enabled(false);
+        assert!(!enabled());
+        assert!(start().is_none(), "disabled path must not read the clock");
+        set_enabled(true);
+        assert!(enabled());
+        assert!(start().is_some());
+        set_enabled(was);
+    }
+
+    #[test]
+    fn counter_is_monotonic_across_reports() {
+        let was = enabled();
+        set_enabled(true);
+        let progress = CellProgress::new("test", 3);
+        progress.cell_done("a", CellSource::Memory, None);
+        progress.cell_done("b", CellSource::Simulated, start());
+        progress.cell_pruned("c", None);
+        assert_eq!(progress.done.load(Ordering::Relaxed), 3);
+        set_enabled(was);
+    }
+}

@@ -41,19 +41,21 @@ impl Table1Row {
 /// and vice versa).
 pub fn table1(workloads: &[LoadedWorkload]) -> Vec<Table1Row> {
     let cache = SimCache::global();
+    let progress = crate::progress::CellProgress::new("table1", workloads.len() * 2);
     workloads
         .par_iter()
         .map(|w| {
             let cell = |triple: &HeuristicTriple| {
-                cache
-                    .run_cell(
+                let started = crate::progress::start();
+                let (cell, source) = cache
+                    .run_cell_traced(
                         &w.jobs,
                         predictsim_sim::ClusterSpec::single(w.machine_size),
                         triple,
                     )
-                    .expect("table 1 simulation failed")
-                    .result
-                    .ave_bsld
+                    .expect("table 1 simulation failed");
+                progress.cell_done(&format!("{} {}", w.name, triple.name()), source, started);
+                cell.result.ave_bsld
             };
             Table1Row {
                 log: w.name.clone(),
@@ -212,6 +214,7 @@ pub struct Table8Row {
 /// read.
 pub fn table8(workload: &LoadedWorkload) -> Vec<Table8Row> {
     let cache = SimCache::global();
+    let progress = crate::progress::CellProgress::new("table8", 2);
     [
         (
             "AVE2(k)",
@@ -225,13 +228,15 @@ pub fn table8(workload: &LoadedWorkload) -> Vec<Table8Row> {
     ]
     .into_par_iter()
     .map(|(label, triple)| {
-        let cell = cache
-            .run_cell(
+        let started = crate::progress::start();
+        let (cell, source) = cache
+            .run_cell_traced(
                 &workload.jobs,
                 predictsim_sim::ClusterSpec::single(workload.machine_size),
                 &triple,
             )
             .expect("table 8 simulation failed");
+        progress.cell_done(&triple.name(), source, started);
         Table8Row {
             technique: label.to_string(),
             mae: cell.result.mae,

@@ -8,6 +8,12 @@ use std::time::Instant;
 pub const TIMING_BEGIN: &str = "<!-- repro:timing:begin -->";
 /// Marker closing the generated timing section in `EXPERIMENTS.md`.
 pub const TIMING_END: &str = "<!-- repro:timing:end -->";
+/// Marker opening the generated pool-width scaling table in
+/// `EXPERIMENTS.md` (written by the `parallel_scaling` bench under
+/// `RECORD_SCALING=<path>`).
+pub const SCALING_BEGIN: &str = "<!-- repro:scaling:begin -->";
+/// Marker closing the generated scaling table in `EXPERIMENTS.md`.
+pub const SCALING_END: &str = "<!-- repro:scaling:end -->";
 
 /// Accumulates named phase durations for one `repro` run.
 #[derive(Debug)]
@@ -96,15 +102,17 @@ impl PhaseTimer {
     }
 }
 
-/// Replaces the marked timing section of `document` with `section`
-/// (appending markers and section at the end when absent). Pure string
-/// surgery so it is directly testable.
-pub fn splice_timing_section(document: &str, section: &str) -> String {
-    let block = format!("{TIMING_BEGIN}\n{section}{TIMING_END}");
-    match (document.find(TIMING_BEGIN), document.find(TIMING_END)) {
-        (Some(begin), Some(end)) if end >= begin => {
-            let after = end + TIMING_END.len();
-            format!("{}{}{}", &document[..begin], block, &document[after..])
+/// Replaces the section of `document` delimited by the `begin`/`end`
+/// marker pair with `section` (appending markers and section at the end
+/// when absent). Pure string surgery so it is directly testable; each
+/// marker pair owns its own region, so the timing table and the scaling
+/// table can coexist in one file and be refreshed independently.
+pub fn splice_between(document: &str, begin: &str, end: &str, section: &str) -> String {
+    let block = format!("{begin}\n{section}{end}");
+    match (document.find(begin), document.find(end)) {
+        (Some(b), Some(e)) if e >= b => {
+            let after = e + end.len();
+            format!("{}{}{}", &document[..b], block, &document[after..])
         }
         _ => {
             let sep = if document.ends_with('\n') {
@@ -117,10 +125,26 @@ pub fn splice_timing_section(document: &str, section: &str) -> String {
     }
 }
 
+/// Replaces the marked timing section of `document` with `section`.
+pub fn splice_timing_section(document: &str, section: &str) -> String {
+    splice_between(document, TIMING_BEGIN, TIMING_END, section)
+}
+
+/// Rewrites `path` with its `begin`/`end`-marked section replaced by
+/// `section`.
+pub fn record_section(
+    path: &std::path::Path,
+    begin: &str,
+    end: &str,
+    section: &str,
+) -> std::io::Result<()> {
+    let document = std::fs::read_to_string(path)?;
+    std::fs::write(path, splice_between(&document, begin, end, section))
+}
+
 /// Rewrites `path` with its timing section replaced by `section`.
 pub fn record_timing(path: &std::path::Path, section: &str) -> std::io::Result<()> {
-    let document = std::fs::read_to_string(path)?;
-    std::fs::write(path, splice_timing_section(&document, section))
+    record_section(path, TIMING_BEGIN, TIMING_END, section)
 }
 
 #[cfg(test)]
@@ -168,6 +192,30 @@ mod tests {
         assert!(second.contains("SECTION-B"));
         assert_eq!(second.matches(TIMING_BEGIN).count(), 1);
         assert!(second.contains("body"), "surrounding document is preserved");
+    }
+
+    #[test]
+    fn marker_pairs_are_independent_regions() {
+        // The timing and scaling sections live in the same document;
+        // refreshing one must never clobber the other.
+        let doc = "# EXPERIMENTS\n\nbody\n";
+        let with_timing = splice_timing_section(doc, "TIMING-A\n");
+        let both = splice_between(&with_timing, SCALING_BEGIN, SCALING_END, "SCALING-A\n");
+        assert!(both.contains("TIMING-A") && both.contains("SCALING-A"));
+
+        let timing_refreshed = splice_timing_section(&both, "TIMING-B\n");
+        assert!(timing_refreshed.contains("TIMING-B"));
+        assert!(!timing_refreshed.contains("TIMING-A"));
+        assert!(
+            timing_refreshed.contains("SCALING-A"),
+            "scaling section must survive a timing refresh"
+        );
+
+        let scaling_refreshed =
+            splice_between(&timing_refreshed, SCALING_BEGIN, SCALING_END, "SCALING-B\n");
+        assert!(scaling_refreshed.contains("SCALING-B"));
+        assert!(!scaling_refreshed.contains("SCALING-A"));
+        assert!(scaling_refreshed.contains("TIMING-B"));
     }
 
     #[test]
