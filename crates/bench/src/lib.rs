@@ -13,7 +13,7 @@
 //!    stack over time.
 //!
 //! Full-size reproductions belong to the `repro` binary
-//! (`cargo run --release -p predictsim-experiments --bin repro -- all`).
+//! (`cargo run --release -p predictsim --bin repro -- all`).
 
 #![forbid(unsafe_code)]
 

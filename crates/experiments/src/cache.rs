@@ -74,7 +74,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use predictsim_sim::ClusterSpec;
+use predictsim_sim::{ClusterSpec, NullObserver, SimObserver};
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::TripleResult;
@@ -526,6 +526,37 @@ impl SimCache {
         self.persist.lock().expect("cache persist lock").budget = bytes;
     }
 
+    /// Persists the LRU index *now* and sweeps this process's leftover
+    /// `*.tmp` files. The graceful-shutdown path: `index.json` is
+    /// normally only rewritten after a store, so a run that was serving
+    /// disk hits (which touch entries' last-use clocks in memory) and
+    /// then gets interrupted would otherwise lose that recency — and a
+    /// writer killed between temp write and rename would leave its temp
+    /// file for the *next* attach to sweep. No-op without a persistent
+    /// directory.
+    pub fn flush_persistent(&self) {
+        let (dir, index) = {
+            let persist = self.persist.lock().expect("cache persist lock");
+            let Some(dir) = persist.dir.clone() else {
+                return;
+            };
+            (dir, persist.index.clone())
+        };
+        // An interrupt can land before any cell was stored; the flushed
+        // (possibly empty) index must still appear on disk.
+        let _ = std::fs::create_dir_all(&dir);
+        self.save_index(&dir, &index);
+        let own_tmp = format!(".{}-", std::process::id());
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".tmp") && name.contains(&own_tmp) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
     /// Drops every in-memory cell and restores the prediction budget
     /// (the persistent directory, if any, is untouched). Intended for
     /// tests that must observe *fresh* simulations — e.g. the pool-width
@@ -660,6 +691,27 @@ impl SimCache {
         cluster: ClusterSpec,
         triple: &HeuristicTriple,
     ) -> Result<(CachedCell, CellSource), ScenarioError> {
+        let mut null = NullObserver;
+        self.run_cell_observed_traced(arena, cluster, triple, &mut null)
+    }
+
+    /// [`SimCache::run_cell_traced`] with a caller-supplied
+    /// [`SimObserver`] on the miss path. The observer sees events only
+    /// when *this call* runs the simulation ([`CellSource::Simulated`]);
+    /// cached and coalesced cells return without replaying events. It is
+    /// also the cancellation seam: an observer whose
+    /// [`SimObserver::keep_running`] turns `false` aborts the in-flight
+    /// simulation with [`predictsim_sim::SimError::Aborted`], the lease
+    /// is withdrawn, and any coalesced waiters retry (one becomes the
+    /// next leader). Progress heartbeats (`--progress`) and the serve
+    /// daemon's streamed `metrics` frames both ride this path.
+    pub fn run_cell_observed_traced(
+        &self,
+        arena: &JobArena,
+        cluster: ClusterSpec,
+        triple: &HeuristicTriple,
+        observer: &mut dyn SimObserver,
+    ) -> Result<(CachedCell, CellSource), ScenarioError> {
         let key = CellKey::new(arena, cluster, triple);
         loop {
             match self.claim(&key) {
@@ -687,8 +739,12 @@ impl SimCache {
                     self.simulated.fetch_add(1, Ordering::Relaxed);
                     // On error the lease drop withdraws the marker and
                     // releases the waiters before `?` propagates.
-                    let sim = Scenario::from_triple(triple)
-                        .run_on(arena, predictsim_sim::SimConfig { cluster })?;
+                    let sim = crate::scenario::run_triple_with_scratch(
+                        triple,
+                        arena,
+                        predictsim_sim::SimConfig { cluster },
+                        observer,
+                    )?;
                     let result = TripleResult::from_sim(triple, &sim);
                     let predictions: Vec<i64> =
                         sim.outcomes.iter().map(|o| o.initial_prediction).collect();
@@ -1323,6 +1379,94 @@ mod tests {
         let reopened = private();
         reopened.set_persist_dir(Some(dir.clone()));
         assert!(!dir.join("cell-dead.json.999-0.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The observed miss path sees the simulation's events and produces
+    /// the same cell as the unobserved path; hits replay nothing.
+    #[test]
+    fn observed_path_streams_events_only_on_misses() {
+        let cache = private();
+        let (arena, m) = tiny_arena(31);
+        let triple = HeuristicTriple::standard_easy();
+        let mut metrics = predictsim_sim::MetricsObserver::new(m.total_procs());
+        let (cell, src) = cache
+            .run_cell_observed_traced(&arena, m, &triple, &mut metrics)
+            .unwrap();
+        assert_eq!(src, CellSource::Simulated);
+        assert_eq!(metrics.finished(), arena.len());
+        assert!((metrics.ave_bsld() - cell.result.ave_bsld).abs() < 1e-9);
+        // Second call hits memory: the observer stays silent.
+        let mut silent = predictsim_sim::MetricsObserver::new(m.total_procs());
+        let (again, src) = cache
+            .run_cell_observed_traced(&arena, m, &triple, &mut silent)
+            .unwrap();
+        assert_eq!(src, CellSource::Memory);
+        assert_eq!(silent.finished(), 0);
+        assert_eq!(again.result, cell.result);
+    }
+
+    /// A cancelling observer aborts the leader, withdraws the lease, and
+    /// leaves the cell re-runnable.
+    #[test]
+    fn observed_cancellation_aborts_and_releases_the_cell() {
+        struct CancelAfter {
+            left: u32,
+        }
+        impl SimObserver for CancelAfter {
+            fn on_event(&mut self, _event: &predictsim_sim::SimEvent<'_>) {
+                self.left = self.left.saturating_sub(1);
+            }
+            fn keep_running(&self) -> bool {
+                self.left > 0
+            }
+        }
+        let cache = private();
+        let (arena, m) = tiny_arena(32);
+        let triple = HeuristicTriple::standard_easy();
+        let mut cancel = CancelAfter { left: 5 };
+        let err = cache
+            .run_cell_observed_traced(&arena, m, &triple, &mut cancel)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ScenarioError::Sim(predictsim_sim::SimError::Aborted { .. })
+            ),
+            "got {err:?}"
+        );
+        // The withdrawn lease does not wedge the cell: a fresh request
+        // simulates it to completion.
+        let (_, src) = cache.run_cell_traced(&arena, m, &triple).unwrap();
+        assert_eq!(src, CellSource::Simulated);
+        assert_eq!(cache.stats().simulated, 2, "abort still counted as work");
+    }
+
+    /// `flush_persistent` writes the index immediately — the SIGINT path
+    /// for runs that would otherwise lose in-memory recency updates.
+    #[test]
+    fn flush_persistent_saves_index_and_sweeps_own_tmp() {
+        let dir = temp_dir("flush");
+        let (arena, m) = tiny_arena(33);
+        let cache = private();
+        cache.set_persist_dir(Some(dir.clone()));
+        cache
+            .run_cell(&arena, m, &HeuristicTriple::standard_easy())
+            .unwrap();
+        let index_path = dir.join(SimCache::INDEX_NAME);
+        std::fs::remove_file(&index_path).unwrap();
+        // A stranded temp file from *this* process (as after a kill
+        // between write and rename).
+        let tmp = dir.join(format!("cell-x.json.{}-999.tmp", std::process::id()));
+        std::fs::write(&tmp, "torn").unwrap();
+        cache.flush_persistent();
+        assert!(index_path.exists(), "index rewritten on flush");
+        assert!(!tmp.exists(), "own temp litter swept on flush");
+        let text = std::fs::read_to_string(&index_path).unwrap();
+        let index: DiskIndex = serde_json::from_str(&text).unwrap();
+        assert_eq!(index.entries.len(), 1);
+        // Without a persistent directory the flush is a no-op.
+        private().flush_persistent();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -170,9 +170,23 @@ fn run_campaign_arena(
         .par_iter()
         .map(|triple| {
             let started = crate::progress::start();
-            let (cell, source) = cache
-                .run_cell_traced(arena, cluster, triple)
-                .unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
+            // With `--progress` on, route through the observed cache
+            // path so hour-long cells journal an intra-cell heartbeat
+            // every N events; the default path stays observer-free.
+            // Either way the simulation — and therefore the cached
+            // cell — is byte-identical.
+            let outcome = if crate::progress::enabled() {
+                let mut heartbeat = crate::progress::Heartbeat::journal(
+                    format!("campaign {log} {}", triple.name()),
+                    cluster.total_procs(),
+                    arena.len(),
+                );
+                cache.run_cell_observed_traced(arena, cluster, triple, &mut heartbeat)
+            } else {
+                cache.run_cell_traced(arena, cluster, triple)
+            };
+            let (cell, source) =
+                outcome.unwrap_or_else(|e| panic!("triple {} failed: {e}", triple.name()));
             progress.cell_done(&triple.name(), source, started);
             cell.result
         })

@@ -31,9 +31,9 @@
 //! The `repro` binary regenerates any table or figure:
 //!
 //! ```text
-//! cargo run --release -p predictsim-experiments --bin repro -- all
-//! cargo run --release -p predictsim-experiments --bin repro -- table6 --scale 0.1
-//! cargo run --release -p predictsim-experiments --bin repro -- fig4 --full
+//! cargo run --release -p predictsim --bin repro -- all
+//! cargo run --release -p predictsim --bin repro -- table6 --scale 0.1
+//! cargo run --release -p predictsim --bin repro -- fig4 --full
 //! ```
 
 #![forbid(unsafe_code)]

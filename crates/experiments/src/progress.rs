@@ -21,6 +21,8 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use predictsim_sim::{MetricsObserver, SimEvent, SimObserver, Ticker, UtilizationObserver};
+
 use crate::cache::CellSource;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -117,6 +119,126 @@ impl CellProgress {
     }
 }
 
+/// Default heartbeat cadence: one report every this many simulated
+/// events (submissions + starts + corrections + completions).
+pub const HEARTBEAT_EVENTS: u64 = 250_000;
+
+/// An intra-cell heartbeat snapshot, handed to a [`Heartbeat`] sink
+/// every [`HEARTBEAT_EVENTS`] (or a configured cadence) events.
+pub struct HeartbeatPulse<'a> {
+    /// Raw engine events seen so far.
+    pub events: u64,
+    /// Incremental scheduling metrics at this instant.
+    pub metrics: &'a MetricsObserver,
+    /// Per-partition utilization series, when the heartbeat tracks one.
+    pub utilization: Option<&'a UtilizationObserver>,
+}
+
+/// The intra-cell progress observer: maintains incremental metrics (and
+/// optionally a per-partition utilization series) while a simulation
+/// runs, and calls a sink with a [`HeartbeatPulse`] every N events.
+///
+/// One journaling seam, two consumers: `--progress` journals pulses to
+/// stderr ([`Heartbeat::journal`]), and the serve daemon turns the same
+/// pulses into streamed `metrics` frames. A cancel hook makes it the
+/// cooperative-cancellation carrier too — the engine polls
+/// [`SimObserver::keep_running`], so a hook returning `true` (cancel)
+/// aborts the in-flight simulation.
+pub struct Heartbeat {
+    metrics: MetricsObserver,
+    utilization: Option<UtilizationObserver>,
+    ticker: Ticker,
+    sink: Box<dyn FnMut(HeartbeatPulse<'_>) + Send>,
+    cancel: Option<Box<dyn Fn() -> bool + Send>>,
+}
+
+impl Heartbeat {
+    /// A heartbeat for a machine of `machine_size` processors, pulsing
+    /// `sink` every `every` events.
+    pub fn new(
+        machine_size: u32,
+        every: u64,
+        sink: Box<dyn FnMut(HeartbeatPulse<'_>) + Send>,
+    ) -> Self {
+        Heartbeat {
+            metrics: MetricsObserver::new(machine_size),
+            utilization: None,
+            ticker: Ticker::new(every),
+            sink,
+            cancel: None,
+        }
+    }
+
+    /// Adds a per-partition utilization series to each pulse.
+    pub fn with_utilization(mut self, utilization: UtilizationObserver) -> Self {
+        self.utilization = Some(utilization);
+        self
+    }
+
+    /// Adds a cancel hook, polled by the engine between event batches:
+    /// returning `true` aborts the simulation
+    /// ([`predictsim_sim::SimError::Aborted`]).
+    pub fn with_cancel(mut self, cancel: Box<dyn Fn() -> bool + Send>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The `--progress` heartbeat: journals each pulse through [`emit`]
+    /// as e.g.
+    ///
+    /// ```text
+    /// progress: campaign KTH-SP2 ave2+easy — in flight: 250000 events, 8123/13115 jobs finished, AVEbsld so far 41.3
+    /// ```
+    pub fn journal(label: String, machine_size: u32, total_jobs: usize) -> Self {
+        Heartbeat::new(
+            machine_size,
+            HEARTBEAT_EVENTS,
+            Box::new(move |pulse: HeartbeatPulse<'_>| {
+                emit(&format!(
+                    "{label} — in flight: {} events, {}/{} jobs finished, AVEbsld so far {:.1}",
+                    pulse.events,
+                    pulse.metrics.finished(),
+                    total_jobs,
+                    pulse.metrics.ave_bsld(),
+                ));
+            }),
+        )
+    }
+
+    /// Raw events seen so far.
+    pub fn events(&self) -> u64 {
+        self.ticker.seen()
+    }
+
+    /// The incremental metrics accumulated so far.
+    pub fn metrics(&self) -> &MetricsObserver {
+        &self.metrics
+    }
+}
+
+impl SimObserver for Heartbeat {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self.metrics.on_event(event);
+        if let Some(utilization) = self.utilization.as_mut() {
+            utilization.on_event(event);
+        }
+        if self.ticker.tick() {
+            (self.sink)(HeartbeatPulse {
+                events: self.ticker.seen(),
+                metrics: &self.metrics,
+                utilization: self.utilization.as_ref(),
+            });
+        }
+    }
+
+    fn keep_running(&self) -> bool {
+        match &self.cancel {
+            Some(cancel) => !cancel(),
+            None => true,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +266,56 @@ mod tests {
         progress.cell_pruned("c", None);
         assert_eq!(progress.done.load(Ordering::Relaxed), 3);
         set_enabled(was);
+    }
+
+    #[test]
+    fn heartbeat_pulses_on_cadence_and_carries_metrics() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        let pulses = Arc::new(AtomicU64::new(0));
+        let sink_pulses = pulses.clone();
+        let mut hb = Heartbeat::new(
+            4,
+            10,
+            Box::new(move |pulse: HeartbeatPulse<'_>| {
+                assert_eq!(pulse.events % 10, 0);
+                sink_pulses.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        let job = predictsim_sim::Job {
+            id: predictsim_sim::JobId(0),
+            submit: predictsim_sim::Time(0),
+            run: 100,
+            requested: 200,
+            procs: 1,
+            user: 0,
+            swf_id: 0,
+        };
+        for _ in 0..25 {
+            hb.on_event(&SimEvent::Submitted {
+                job: &job,
+                prediction: 200,
+                now: predictsim_sim::Time(0),
+            });
+        }
+        assert_eq!(pulses.load(Ordering::Relaxed), 2);
+        assert_eq!(hb.events(), 25);
+        assert_eq!(hb.metrics().submitted(), 25);
+        assert!(hb.keep_running(), "no cancel hook: never aborts");
+    }
+
+    #[test]
+    fn heartbeat_cancel_hook_flips_keep_running() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let hook = stop.clone();
+        let hb = Heartbeat::new(4, 10, Box::new(|_| {}))
+            .with_cancel(Box::new(move || hook.load(Ordering::Relaxed)));
+        assert!(hb.keep_running());
+        stop.store(true, Ordering::Relaxed);
+        assert!(!hb.keep_running());
     }
 }

@@ -1,0 +1,586 @@
+//! The daemon: accept loop, per-connection readers, a bounded
+//! submission queue, and a worker pool running cells through the
+//! process-wide [`SimCache`].
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! - one **accept** thread polls a non-blocking `TcpListener` and
+//!   spawns a reader thread per connection;
+//! - **connection** threads parse request lines (with a read timeout so
+//!   they notice shutdown), answer `ping`/`stats` inline, validate
+//!   submissions, and enqueue them;
+//! - **worker** threads drain the queue and run each job through
+//!   [`SimCache::run_cell_observed_traced`] with a
+//!   [`Heartbeat`](predictsim_experiments::progress::Heartbeat)
+//!   observer that streams `metrics` frames back over the submitting
+//!   connection and carries the cancellation hook (deadline, shutdown,
+//!   client gone).
+//!
+//! Because every worker goes through the shared cache's single-flight
+//! layer, two clients submitting the same cold cell coalesce: exactly
+//! one simulation runs, the other client's `result` frame reports
+//! `"source":"coalesced"` (and streams no metrics — only the leader
+//! observes events).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use predictsim_experiments::progress::Heartbeat;
+use predictsim_experiments::registry::parse_cluster;
+use predictsim_experiments::{
+    CellSource, ExperimentSetup, HeuristicTriple, LoadedWorkload, PredictionTechnique, Scenario,
+    ScenarioError, SimCache, SwfSource, SyntheticSource, Variant, WorkloadSource,
+};
+use predictsim_sim::{ClusterSpec, SimError, UtilizationObserver};
+use predictsim_workload::WorkloadSpec;
+use serde::{Serialize, Value};
+
+use crate::protocol::{
+    ack_frame, error_frame, is_timeout, metrics_frame, pong_frame, result_frame, ErrorCode, Line,
+    LineReader, ProtoError, Request, Submission, WorkloadRequest, DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_METRICS_EVERY,
+};
+
+/// Server tunables. `Default` suits interactive use; tests shrink the
+/// queue and line cap to force the rejection paths.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet running) submissions;
+    /// beyond it submissions are rejected with `busy`.
+    pub queue_depth: usize,
+    /// Per-request-line byte cap; longer lines are rejected with
+    /// `oversized`.
+    pub max_line_bytes: usize,
+    /// Default `metrics` cadence (events) when a submission does not
+    /// set `metrics_every`.
+    pub metrics_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            metrics_every: DEFAULT_METRICS_EVERY,
+        }
+    }
+}
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// The accept loop polls faster: its sleep is pure connection-setup
+/// latency for every new client, and an idle poll is just one failed
+/// `accept(2)`.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// One connection's write half, shared between its reader thread and
+/// any worker streaming frames for its jobs. Writes are line-atomic
+/// under the lock; a failed write marks the connection dead, which
+/// cancels its in-flight jobs.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: Mutex::new(stream),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    fn send(&self, frame: &Value) -> bool {
+        let Ok(line) = serde_json::to_string(frame) else {
+            return false;
+        };
+        let mut stream = self.stream.lock().expect("conn writer lock");
+        let ok = stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_ok();
+        if !ok {
+            self.alive.store(false, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+/// A validated submission waiting for a worker.
+struct Pending {
+    id: u64,
+    submission: Submission,
+    conn: Arc<ConnWriter>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<Pending>>,
+    wake: Condvar,
+    next_job: AtomicU64,
+    active: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    workloads: Mutex<HashMap<String, LoadedWorkload>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A running daemon. [`Server::start`] binds and spawns the threads;
+/// [`Server::shutdown`] drains gracefully; dropping without shutdown
+/// also shuts down (so tests cannot leak threads).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and spawns the accept loop plus `cfg.workers`
+    /// simulation workers.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            next_job: AtomicU64::new(1),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            workloads: Mutex::new(HashMap::new()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Jobs currently being simulated.
+    pub fn active_jobs(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting, reject everything still queued
+    /// with `shutdown` errors, cancel in-flight simulations through
+    /// their observers' cancel hooks, join every thread, and flush the
+    /// persistent cache index.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        SimCache::global().flush_persistent();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.shutting_down() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared_conn = shared.clone();
+                let handle = std::thread::spawn(move || handle_conn(stream, shared_conn));
+                shared.conns.lock().expect("conns lock").push(handle);
+            }
+            Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
+    // A read timeout so this thread notices shutdown (and dead peers)
+    // instead of blocking forever in `read`.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(BufReader::new(stream), shared.cfg.max_line_bytes);
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match reader.next_line() {
+            Ok(None) => return, // EOF: client closed its write half and everything was read
+            Ok(Some(Line::Oversized)) => {
+                let err = ProtoError::new(
+                    ErrorCode::Oversized,
+                    format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
+                );
+                if !writer.send(&error_frame(None, &err)) {
+                    return;
+                }
+            }
+            Ok(Some(Line::Text(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if !handle_request(&line, &writer, &shared) {
+                    return;
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                // Keep waiting — but stop once the peer is provably gone
+                // (a streamed frame failed to write).
+                if !writer.alive() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; `false` ends the connection (write side
+/// dead).
+fn handle_request(line: &str, writer: &Arc<ConnWriter>, shared: &Arc<Shared>) -> bool {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(err) => return writer.send(&error_frame(None, &err)),
+    };
+    match request {
+        Request::Ping => writer.send(&pong_frame()),
+        Request::Stats => writer.send(&stats_frame(shared)),
+        Request::Submit(submission) => {
+            // Validate the policy names and cluster spec up front so a
+            // bad request fails fast, before queueing.
+            let (triple, _) = match validate(&submission) {
+                Ok(resolved) => resolved,
+                Err(err) => return writer.send(&error_frame(None, &err)),
+            };
+            if shared.shutting_down() {
+                let err = ProtoError::new(ErrorCode::Shutdown, "server is draining");
+                return writer.send(&error_frame(None, &err));
+            }
+            // Depth check, ack, and enqueue under one lock: the ack hits
+            // the socket before any worker can stream this job's frames,
+            // and concurrent submitters cannot overshoot the bound.
+            let mut queue = shared.queue.lock().expect("queue lock");
+            if queue.len() >= shared.cfg.queue_depth {
+                drop(queue);
+                let err = ProtoError::new(
+                    ErrorCode::Busy,
+                    format!(
+                        "submission queue full ({} pending); resubmit later",
+                        shared.cfg.queue_depth
+                    ),
+                );
+                return writer.send(&error_frame(None, &err));
+            }
+            let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+            let ok = writer.send(&ack_frame(
+                id,
+                &triple.name(),
+                &submission.workload.describe(),
+            ));
+            queue.push_back(Pending {
+                id,
+                submission: *submission,
+                conn: writer.clone(),
+            });
+            drop(queue);
+            shared.wake.notify_one();
+            ok
+        }
+    }
+}
+
+fn stats_frame(shared: &Arc<Shared>) -> Value {
+    let stats = SimCache::global().stats();
+    let queued = shared.queue.lock().expect("queue lock").len();
+    Value::Map(vec![
+        ("type".into(), Value::Str("stats".into())),
+        ("simulated".into(), Value::UInt(stats.simulated)),
+        ("memory_hits".into(), Value::UInt(stats.memory_hits)),
+        ("disk_hits".into(), Value::UInt(stats.disk_hits)),
+        ("coalesced".into(), Value::UInt(stats.coalesced)),
+        ("disk_rejects".into(), Value::UInt(stats.disk_rejects)),
+        ("evicted".into(), Value::UInt(stats.disk_evictions)),
+        ("queued".into(), Value::UInt(queued as u64)),
+        (
+            "active".into(),
+            Value::UInt(shared.active.load(Ordering::Relaxed) as u64),
+        ),
+    ])
+}
+
+/// Resolves the submission's policy strings against the registry
+/// (without loading the workload).
+fn validate(submission: &Submission) -> Result<(HeuristicTriple, Option<ClusterSpec>), ProtoError> {
+    let registry = |e: predictsim_experiments::RegistryError| {
+        ProtoError::new(ErrorCode::UnknownPolicy, e.to_string())
+    };
+    let variant: Variant = match &submission.scheduler {
+        Some(name) => name.parse().map_err(registry)?,
+        None => Variant::Easy,
+    };
+    let prediction: PredictionTechnique = match &submission.predictor {
+        Some(name) => name.parse().map_err(registry)?,
+        None => PredictionTechnique::RequestedTime,
+    };
+    let correction = match &submission.correction {
+        Some(name) => Some(name.parse().map_err(registry)?),
+        None => None,
+    };
+    let cluster = match &submission.cluster {
+        Some(spec) => Some(parse_cluster(spec).map_err(registry)?),
+        None => None,
+    };
+    Ok((
+        HeuristicTriple {
+            prediction,
+            correction,
+            variant,
+        },
+        cluster,
+    ))
+}
+
+/// Loads (or recalls from the daemon's memo) the submission's workload.
+fn load_workload(request: &WorkloadRequest, shared: &Shared) -> Result<LoadedWorkload, ProtoError> {
+    let memo_key = request.describe();
+    if let Some(hit) = shared
+        .workloads
+        .lock()
+        .expect("workloads lock")
+        .get(&memo_key)
+    {
+        return Ok(hit.clone());
+    }
+    let loaded = build_workload(request)?;
+    shared
+        .workloads
+        .lock()
+        .expect("workloads lock")
+        .insert(memo_key, loaded.clone());
+    Ok(loaded)
+}
+
+/// Resolves and loads a workload request (no memoization).
+pub fn build_workload(request: &WorkloadRequest) -> Result<LoadedWorkload, ProtoError> {
+    let bad = |m: String| ProtoError::new(ErrorCode::BadWorkload, m);
+    let loaded = match request {
+        WorkloadRequest::Preset { log, scale, seed } => {
+            let setup = ExperimentSetup {
+                scale: *scale,
+                seed: *seed,
+            };
+            let spec = setup
+                .spec(log)
+                .ok_or_else(|| bad(format!("no Table 4 preset matches `{log}`")))?;
+            SyntheticSource::new(spec, *seed)
+                .load()
+                .map_err(|e| bad(e.to_string()))?
+        }
+        WorkloadRequest::Swf { path } => SwfSource::new(path)
+            .load()
+            .map_err(|e| bad(e.to_string()))?,
+        WorkloadRequest::Toy {
+            name,
+            jobs,
+            duration,
+            utilization,
+            seed,
+        } => {
+            let mut spec = WorkloadSpec::toy();
+            spec.name = name.clone();
+            spec.jobs = *jobs;
+            spec.duration = *duration;
+            spec.utilization = *utilization;
+            SyntheticSource::new(spec, *seed)
+                .load()
+                .map_err(|e| bad(e.to_string()))?
+        }
+    };
+    Ok(loaded)
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let pending = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(pending) = queue.pop_front() {
+                    break Some(pending);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (q, _) = shared
+                    .wake
+                    .wait_timeout(queue, POLL)
+                    .expect("queue lock poisoned");
+                queue = q;
+            }
+        };
+        let Some(pending) = pending else { return };
+        if shared.shutting_down() {
+            // Drain semantics: work that never started is rejected, not
+            // silently dropped.
+            let err = ProtoError::new(ErrorCode::Shutdown, "server is draining");
+            pending.conn.send(&error_frame(Some(pending.id), &err));
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        run_job(&pending, &shared);
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one submission to its `result` (or job-tagged `error`) frame.
+fn run_job(pending: &Pending, shared: &Arc<Shared>) {
+    let id = pending.id;
+    let submission = &pending.submission;
+    let conn = &pending.conn;
+    let fail = |err: ProtoError| {
+        conn.send(&error_frame(Some(id), &err));
+    };
+    let (triple, cluster_override) = match validate(submission) {
+        Ok(v) => v,
+        Err(err) => return fail(err),
+    };
+    let workload = match load_workload(&submission.workload, shared) {
+        Ok(w) => w,
+        Err(err) => return fail(err),
+    };
+    let cluster = cluster_override.unwrap_or_else(|| ClusterSpec::single(workload.machine_size));
+
+    // The heartbeat streams `metrics` frames and carries cancellation:
+    // deadline, server drain, or the submitting client vanishing.
+    let deadline = submission
+        .timeout_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let every = submission.metrics_every.unwrap_or(shared.cfg.metrics_every);
+    let sink_conn = conn.clone();
+    let mut heartbeat = Heartbeat::new(
+        cluster.total_procs(),
+        every,
+        Box::new(move |pulse| {
+            sink_conn.send(&metrics_frame(
+                id,
+                pulse.events,
+                pulse.metrics,
+                pulse.utilization,
+            ));
+        }),
+    )
+    .with_utilization(UtilizationObserver::hourly(cluster));
+    let cancel_conn = conn.clone();
+    let cancel_shared = shared.clone();
+    heartbeat = heartbeat.with_cancel(Box::new(move || {
+        cancel_shared.shutting_down()
+            || !cancel_conn.alive()
+            || deadline.is_some_and(|d| Instant::now() >= d)
+    }));
+
+    let run = SimCache::global().run_cell_observed_traced(
+        &workload.jobs,
+        cluster,
+        &triple,
+        &mut heartbeat,
+    );
+    match run {
+        Ok((cell, source)) => {
+            let source = match source {
+                CellSource::Simulated => "simulated",
+                CellSource::Memory => "memory",
+                CellSource::Disk => "disk",
+                CellSource::Coalesced => "coalesced",
+            };
+            conn.send(&result_frame(id, source, cell.result.to_value()));
+        }
+        Err(ScenarioError::Sim(SimError::Aborted { .. })) => {
+            let err = if shared.shutting_down() {
+                ProtoError::new(ErrorCode::Shutdown, "cancelled: server draining")
+            } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                ProtoError::new(
+                    ErrorCode::Timeout,
+                    format!(
+                        "cancelled after {} ms",
+                        submission.timeout_ms.unwrap_or_default()
+                    ),
+                )
+            } else {
+                ProtoError::new(ErrorCode::Internal, "cancelled: client disconnected")
+            };
+            fail(err);
+        }
+        Err(other) => fail(ProtoError::new(ErrorCode::Internal, other.to_string())),
+    }
+}
+
+/// A convenience wrapper for tests: the batch-identical `TripleResult`
+/// JSON for a submission, computed in-process without a socket (what
+/// `repro scenario` writes as `scenario.json`).
+pub fn batch_result_json(submission: &Submission) -> Result<String, ProtoError> {
+    let (triple, cluster_override) = validate(submission)?;
+    let workload = build_workload(&submission.workload)?;
+    let cluster = cluster_override.unwrap_or_else(|| ClusterSpec::single(workload.machine_size));
+    let result = Scenario::from_triple(&triple)
+        .run_on(&workload.jobs, predictsim_sim::SimConfig { cluster })
+        .map_err(|e| ProtoError::new(ErrorCode::Internal, e.to_string()))?;
+    let summary = predictsim_experiments::TripleResult::from_sim(&triple, &result);
+    serde_json::to_string_pretty(&summary).map_err(|e| ProtoError::new(ErrorCode::Internal, e.0))
+}

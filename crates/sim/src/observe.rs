@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex};
 
 use predictsim_metrics::{bounded_slowdown, DEFAULT_TAU};
 
+use crate::cluster::ClusterSpec;
 use crate::job::Job;
 use crate::outcome::{JobOutcome, SimResult};
 use crate::time::Time;
@@ -324,6 +325,161 @@ impl SimObserver for SharedMetrics {
     }
 }
 
+/// A modular event counter: `tick()` returns `true` once every `every`
+/// calls. The shared cadence primitive behind intra-cell `--progress`
+/// heartbeats and the serve daemon's periodic `metrics` frames — both
+/// count raw [`SimEvent`]s, so one simulation produces the same frame
+/// boundaries whichever journaling path consumes them.
+#[derive(Debug, Clone)]
+pub struct Ticker {
+    every: u64,
+    seen: u64,
+}
+
+impl Ticker {
+    /// Fires every `every` events (clamped to at least 1).
+    pub fn new(every: u64) -> Self {
+        Self {
+            every: every.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Counts one event; `true` on every `every`-th call.
+    pub fn tick(&mut self) -> bool {
+        self.seen += 1;
+        self.seen.is_multiple_of(self.every)
+    }
+
+    /// Total events counted so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Per-partition utilization time series on simulated-time buckets.
+///
+/// Busy processor-seconds accumulate from `Finished` outcomes into
+/// fixed-width buckets of simulated time (anchored at the first
+/// submission), one growable series per partition — the compressed
+/// per-resource monitoring shape of cluster simulators, maintained
+/// incrementally so a streaming consumer (the serve daemon's `metrics`
+/// frames) can snapshot it mid-run.
+///
+/// Because busy time is recorded at `Finished`, the trailing buckets of
+/// a snapshot undercount still-running jobs; the series is exact once
+/// the simulation completes.
+#[derive(Debug, Clone)]
+pub struct UtilizationObserver {
+    cluster: ClusterSpec,
+    bucket_seconds: i64,
+    origin: Option<i64>,
+    busy: Vec<Vec<f64>>,
+}
+
+impl UtilizationObserver {
+    /// Default bucket width: one simulated hour.
+    pub const DEFAULT_BUCKET_SECONDS: i64 = 3_600;
+
+    /// A fresh accumulator for `cluster` with `bucket_seconds`-wide
+    /// buckets (clamped to at least 1 s).
+    pub fn new(cluster: ClusterSpec, bucket_seconds: i64) -> Self {
+        let busy = vec![Vec::new(); cluster.len()];
+        Self {
+            cluster,
+            bucket_seconds: bucket_seconds.max(1),
+            origin: None,
+            busy,
+        }
+    }
+
+    /// [`Self::new`] with [`Self::DEFAULT_BUCKET_SECONDS`].
+    pub fn hourly(cluster: ClusterSpec) -> Self {
+        Self::new(cluster, Self::DEFAULT_BUCKET_SECONDS)
+    }
+
+    /// The bucket width, simulated seconds.
+    pub fn bucket_seconds(&self) -> i64 {
+        self.bucket_seconds
+    }
+
+    /// Simulated instant of bucket 0's left edge (the first submission),
+    /// or `None` before any job was submitted.
+    pub fn origin(&self) -> Option<Time> {
+        self.origin.map(Time)
+    }
+
+    /// Number of partitions tracked.
+    pub fn partitions(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Busy processor-seconds per bucket for `partition` (empty until the
+    /// first completion there).
+    pub fn busy_seconds(&self, partition: usize) -> &[f64] {
+        &self.busy[partition]
+    }
+
+    /// Utilization fraction per bucket for `partition`: busy
+    /// processor-seconds over `bucket_seconds × partition size`.
+    pub fn utilization(&self, partition: usize) -> Vec<f64> {
+        let capacity = self.bucket_seconds as f64 * self.cluster.part(partition).size as f64;
+        self.busy[partition].iter().map(|b| b / capacity).collect()
+    }
+
+    /// Run-length-compressed utilization for `partition`: `(fraction,
+    /// repeat)` pairs over values rounded to 4 decimals — the compact
+    /// wire form for streamed metrics frames.
+    pub fn compressed(&self, partition: usize) -> Vec<(f64, u32)> {
+        let mut runs: Vec<(f64, u32)> = Vec::new();
+        for value in self.utilization(partition) {
+            let rounded = (value * 1e4).round() / 1e4;
+            match runs.last_mut() {
+                Some((v, n)) if *v == rounded => *n += 1,
+                _ => runs.push((rounded, 1)),
+            }
+        }
+        runs
+    }
+
+    fn record(&mut self, outcome: &JobOutcome) {
+        let origin = match self.origin {
+            Some(o) => o.min(outcome.submit.0),
+            None => outcome.submit.0,
+        };
+        self.origin = Some(origin);
+        let (start, end) = (outcome.start.0, outcome.end.0);
+        if end <= start || outcome.procs == 0 {
+            return;
+        }
+        let series = &mut self.busy[outcome.partition as usize];
+        let first = ((start - origin) / self.bucket_seconds).max(0) as usize;
+        let last = ((end - 1 - origin) / self.bucket_seconds).max(0) as usize;
+        if series.len() <= last {
+            series.resize(last + 1, 0.0);
+        }
+        for (i, slot) in series.iter_mut().enumerate().take(last + 1).skip(first) {
+            let lo = origin + i as i64 * self.bucket_seconds;
+            let hi = lo + self.bucket_seconds;
+            let overlap = (end.min(hi) - start.max(lo)).max(0);
+            *slot += overlap as f64 * outcome.procs as f64;
+        }
+    }
+}
+
+impl SimObserver for UtilizationObserver {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::Submitted { job, .. } => {
+                let submit = job.submit.0;
+                self.origin = Some(self.origin.map_or(submit, |o| o.min(submit)));
+            }
+            SimEvent::Finished { outcome } => self.record(outcome),
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,5 +635,106 @@ mod tests {
         assert_eq!(m.mean_wait(), 0.0);
         assert_eq!(m.utilization(), 0.0);
         assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn ticker_fires_on_the_modulus() {
+        let mut t = Ticker::new(3);
+        let fired: Vec<bool> = (0..7).map(|_| t.tick()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, true, false]);
+        assert_eq!(t.seen(), 7);
+        // A zero interval clamps to 1 rather than dividing by zero.
+        let mut every = Ticker::new(0);
+        assert!(every.tick());
+    }
+
+    #[test]
+    fn utilization_observer_buckets_busy_time() {
+        // One job: submit 0, runs on 2 procs from t=50 to t=250 with
+        // 100 s buckets → buckets carry 50·2, 100·2, 50·2 busy seconds.
+        let outcome = JobOutcome {
+            id: JobId(0),
+            swf_id: 0,
+            user: 0,
+            procs: 2,
+            run: 200,
+            requested: 400,
+            submit: Time(0),
+            start: Time(50),
+            end: Time(250),
+            initial_prediction: 400,
+            corrections: 0,
+            killed: false,
+            partition: 0,
+        };
+        let mut u = UtilizationObserver::new(ClusterSpec::single(4), 100);
+        u.on_event(&SimEvent::Finished { outcome: &outcome });
+        assert_eq!(u.busy_seconds(0), &[100.0, 200.0, 100.0]);
+        let frac = u.utilization(0);
+        assert_eq!(frac, vec![0.25, 0.5, 0.25]);
+        assert_eq!(u.origin(), Some(Time(0)));
+    }
+
+    #[test]
+    fn utilization_observer_matches_overall_utilization() {
+        let js = jobs(30);
+        let cfg = SimConfig::single(5);
+        let mut util = UtilizationObserver::new(cfg.cluster, 60);
+        let result = simulate_observed(
+            &js,
+            cfg,
+            &mut EasyScheduler::sjbf(),
+            &mut RequestedTimePredictor,
+            None,
+            &mut util,
+        )
+        .unwrap();
+        let total: f64 = util.busy_seconds(0).iter().sum();
+        let work: f64 = result
+            .outcomes
+            .iter()
+            .map(|o| (o.end.0 - o.start.0) as f64 * o.procs as f64)
+            .sum();
+        assert!((total - work).abs() < 1e-6, "{total} vs {work}");
+        // The RLE form decompresses back to the raw series.
+        let decompressed: Vec<f64> = util
+            .compressed(0)
+            .iter()
+            .flat_map(|&(v, n)| std::iter::repeat_n(v, n as usize))
+            .collect();
+        assert_eq!(decompressed.len(), util.utilization(0).len());
+    }
+
+    #[test]
+    fn utilization_observer_separates_partitions() {
+        let mk = |partition: u32, start: i64, end: i64| JobOutcome {
+            id: JobId(partition),
+            swf_id: partition as u64,
+            user: 0,
+            procs: 1,
+            run: end - start,
+            requested: end - start,
+            submit: Time(0),
+            start: Time(start),
+            end: Time(end),
+            initial_prediction: end - start,
+            corrections: 0,
+            killed: false,
+            partition,
+        };
+        let cluster: ClusterSpec = "cluster:4x1+2x0.5".parse().unwrap();
+        let mut u = UtilizationObserver::new(cluster, 10);
+        u.on_event(&SimEvent::Finished {
+            outcome: &mk(0, 0, 10),
+        });
+        u.on_event(&SimEvent::Finished {
+            outcome: &mk(1, 10, 30),
+        });
+        assert_eq!(u.partitions(), 2);
+        assert_eq!(u.busy_seconds(0), &[10.0]);
+        assert_eq!(u.busy_seconds(1), &[0.0, 10.0, 10.0]);
+        // Partition capacity differs: 4 procs vs 2.
+        assert_eq!(u.utilization(0), vec![0.25]);
+        assert_eq!(u.utilization(1), vec![0.0, 0.5, 0.5]);
     }
 }

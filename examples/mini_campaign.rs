@@ -7,7 +7,7 @@
 //! ```
 //!
 //! (For the real thing across all six logs, use the dedicated binary:
-//! `cargo run --release -p predictsim-experiments --bin repro -- all`.)
+//! `cargo run --release -p predictsim --bin repro -- all`.)
 
 use predictsim::experiments::{reference_triples, CampaignResult};
 use predictsim::prelude::*;

@@ -1,0 +1,209 @@
+//! A scriptable client for the `repro serve` daemon: submit one
+//! scenario, pretty-print the streaming `metrics` frames, and exit 0
+//! once the `result` frame lands (1 on an `error` frame).
+//!
+//! ```text
+//! # terminal 1
+//! cargo run --release -p predictsim --bin repro -- serve --listen 127.0.0.1:7071
+//! # terminal 2
+//! cargo run --release --example serve_client -- 127.0.0.1:7071 \
+//!     --log KTH --scale 0.02 --scheduler easy-sjbf \
+//!     --predictor ave2 --correction incremental
+//! ```
+//!
+//! `--result-out FILE` writes the result frame's embedded
+//! `TripleResult` as pretty JSON — byte-identical to the
+//! `scenario.json` that `repro scenario --out` produces, which is what
+//! the CI smoke job diffs.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use predictsim::serve::{Client, Frame, Submission, WorkloadRequest};
+
+struct Args {
+    addr: String,
+    swf: Option<String>,
+    toy_jobs: Option<usize>,
+    log: String,
+    scale: f64,
+    seed: u64,
+    scheduler: Option<String>,
+    predictor: Option<String>,
+    correction: Option<String>,
+    cluster: Option<String>,
+    timeout_ms: Option<u64>,
+    metrics_every: Option<u64>,
+    result_out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut swf = None;
+    let mut toy_jobs = None;
+    let mut log = "KTH".to_string();
+    let mut scale = 0.02;
+    let mut seed = 20150101;
+    let mut scheduler = None;
+    let mut predictor = None;
+    let mut correction = None;
+    let mut cluster = None;
+    let mut timeout_ms = None;
+    let mut metrics_every = None;
+    let mut result_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--swf" => swf = Some(value("--swf")?),
+            "--toy-jobs" => {
+                let v = value("--toy-jobs")?;
+                toy_jobs = Some(v.parse().map_err(|_| format!("bad job count {v:?}"))?);
+            }
+            "--log" => log = value("--log")?,
+            "--scale" => {
+                let v = value("--scale")?;
+                scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--scheduler" => scheduler = Some(value("--scheduler")?),
+            "--predictor" => predictor = Some(value("--predictor")?),
+            "--correction" => correction = Some(value("--correction")?),
+            "--cluster" => cluster = Some(value("--cluster")?),
+            "--timeout-ms" => {
+                let v = value("--timeout-ms")?;
+                timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout {v:?}"))?);
+            }
+            "--metrics-every" => {
+                let v = value("--metrics-every")?;
+                metrics_every = Some(v.parse().map_err(|_| format!("bad cadence {v:?}"))?);
+            }
+            "--result-out" => result_out = Some(value("--result-out")?.into()),
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Args {
+        addr: addr.ok_or("usage: serve_client ADDR [scenario flags]")?,
+        swf,
+        toy_jobs,
+        log,
+        scale,
+        seed,
+        scheduler,
+        predictor,
+        correction,
+        cluster,
+        timeout_ms,
+        metrics_every,
+        result_out,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workload = match (&args.swf, args.toy_jobs) {
+        (Some(path), _) => WorkloadRequest::Swf { path: path.clone() },
+        // `--toy-jobs N` is the CI knob for an arbitrarily slow cold
+        // cell (the SIGINT-drain smoke needs a job that outlives the
+        // signal).
+        (None, Some(jobs)) => WorkloadRequest::Toy {
+            name: "toy".into(),
+            jobs,
+            duration: 90 * 86_400,
+            utilization: 0.8,
+            seed: args.seed,
+        },
+        (None, None) => WorkloadRequest::Preset {
+            log: args.log.clone(),
+            scale: args.scale,
+            seed: args.seed,
+        },
+    };
+    let mut submission = Submission::new(workload);
+    submission.scheduler = args.scheduler.clone();
+    submission.predictor = args.predictor.clone();
+    submission.correction = args.correction.clone();
+    submission.cluster = args.cluster.clone();
+    submission.timeout_ms = args.timeout_ms;
+    submission.metrics_every = args.metrics_every;
+
+    let mut client = Client::connect_with_retry(args.addr.as_str(), Duration::from_secs(5))
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        });
+    client.submit(&submission).expect("submit");
+
+    loop {
+        let frame = match client.next_frame() {
+            Ok(Some(Ok(frame))) => frame,
+            Ok(Some(Err(e))) => {
+                eprintln!("error: unparsable frame: {e}");
+                std::process::exit(1);
+            }
+            Ok(None) => {
+                eprintln!("error: server closed the connection before the result");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: read failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        match frame {
+            Frame::Ack {
+                job,
+                triple,
+                workload,
+            } => println!("job {job}: {triple} on {workload}"),
+            Frame::Metrics {
+                job,
+                events,
+                finished,
+                submitted,
+                ave_bsld,
+                ..
+            } => println!(
+                "job {job}: {events} events, {finished}/{submitted} jobs finished, \
+                 AVEbsld so far {ave_bsld:.1}"
+            ),
+            Frame::Result {
+                job,
+                source,
+                result,
+            } => {
+                let json = serde_json::to_string_pretty(&result).expect("result is json");
+                if let Some(path) = &args.result_out {
+                    let mut file = std::fs::File::create(path).expect("create --result-out file");
+                    file.write_all(json.as_bytes()).expect("write result");
+                    println!(
+                        "job {job}: done (source: {source}), wrote {}",
+                        path.display()
+                    );
+                } else {
+                    println!("job {job}: done (source: {source})");
+                    println!("{json}");
+                }
+                return;
+            }
+            Frame::Error { job, code, message } => {
+                match job {
+                    Some(job) => eprintln!("job {job}: error [{code}] {message}"),
+                    None => eprintln!("error [{code}] {message}"),
+                }
+                std::process::exit(1);
+            }
+            Frame::Pong | Frame::Stats(_) => {}
+        }
+    }
+}

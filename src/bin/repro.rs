@@ -15,6 +15,8 @@
 //!   ablation   scheduler/correction/optimizer/basis/loss ablations
 //!   all        everything above (campaigns are shared)
 //!   scenario   one simulation picked by the policy flags below
+//!   serve      long-running simulation daemon (newline-delimited JSON
+//!              over TCP; see the `predictsim-serve` crate docs)
 //!
 //! OPTIONS
 //!   --scale F        preset scale factor (default 0.05; 1.0 = full Table 4)
@@ -45,9 +47,16 @@
 //!                    homogeneous machine) or `cluster:64x1+32x0.5`
 //!                    (ordered partitions, first-fit routing;
 //!                    default: the workload's own machine)
+//!
+//! SERVE OPTIONS (with the `serve` experiment)
+//!   --listen ADDR      bind address (default 127.0.0.1:0, ephemeral)
+//!   --serve-workers N  simulation worker threads (default: --threads
+//!                      or 2)
+//!   --serve-queue N    queued-submission bound before `busy` (16)
 //! ```
 
 use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use predictsim_experiments::ablation;
@@ -82,6 +91,33 @@ struct Options {
     predictor: Option<String>,
     correction: Option<String>,
     cluster: Option<String>,
+    listen: Option<String>,
+    serve_workers: Option<usize>,
+    serve_queue: Option<usize>,
+}
+
+/// Set by the SIGINT handler; everything else happens on normal
+/// threads (the handler itself must stay async-signal-safe).
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_sigint(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT to [`note_sigint`] so an interrupted run can flush
+/// the persistent cache index (batch) or drain the daemon (serve)
+/// instead of dying mid-write.
+fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, note_sigint);
+        }
+    }
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` (binary) suffix.
@@ -116,6 +152,9 @@ fn parse_args() -> Result<Options, String> {
     let mut predictor = None;
     let mut correction = None;
     let mut cluster = None;
+    let mut listen = None;
+    let mut serve_workers = None;
+    let mut serve_queue = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -176,6 +215,23 @@ fn parse_args() -> Result<Options, String> {
             }
             "--progress" => progress = true,
             "--prune" => prune = true,
+            "--listen" => listen = Some(args.next().ok_or("--listen needs an address")?),
+            "--serve-workers" => {
+                let v = args.next().ok_or("--serve-workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if n == 0 {
+                    return Err("--serve-workers must be at least 1".into());
+                }
+                serve_workers = Some(n);
+            }
+            "--serve-queue" => {
+                let v = args.next().ok_or("--serve-queue needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad queue depth {v:?}"))?;
+                if n == 0 {
+                    return Err("--serve-queue must be at least 1".into());
+                }
+                serve_queue = Some(n);
+            }
             "--help" | "-h" => {
                 experiments.clear();
                 experiments.push("help".into());
@@ -202,6 +258,20 @@ fn parse_args() -> Result<Options, String> {
              the `scenario` experiment; add `scenario` to the experiment list"
                 .into(),
         );
+    }
+    // Same rule for the serve flags: they only configure the daemon.
+    let serve_flags = listen.is_some() || serve_workers.is_some() || serve_queue.is_some();
+    if serve_flags && experiments.is_empty() {
+        experiments.push("serve".into());
+    } else if serve_flags && !experiments.iter().any(|e| e == "serve" || e == "help") {
+        return Err(
+            "--listen/--serve-workers/--serve-queue only apply to the `serve` experiment; \
+             run `repro serve`"
+                .into(),
+        );
+    }
+    if experiments.iter().any(|e| e == "serve") && experiments.len() > 1 {
+        return Err("`serve` runs alone; drop the other experiments".into());
     }
     if experiments.is_empty() {
         experiments.push("help".into());
@@ -234,6 +304,9 @@ fn parse_args() -> Result<Options, String> {
         predictor,
         correction,
         cluster,
+        listen,
+        serve_workers,
+        serve_queue,
     })
 }
 
@@ -356,12 +429,66 @@ fn main() {
         SimCache::global().set_disk_budget(bytes);
         eprintln!("persistent cache budget: {bytes} bytes");
     }
+    install_sigint_handler();
+    if opts.experiments.iter().any(|e| e == "serve") {
+        run_serve(&opts);
+        return;
+    }
+    // Batch mode: a watcher thread turns the SIGINT flag into an
+    // orderly exit — flush the persistent cache index and sweep this
+    // process's temp files so a `--cache` run killed mid-campaign
+    // resumes from every cell already simulated.
+    std::thread::spawn(|| loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("\ninterrupted: flushing the persistent cache index");
+            SimCache::global().flush_persistent();
+            std::process::exit(130);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
     match opts.threads {
         // The override is thread-local; every fan-out in `run` starts
         // from this thread, so the whole pipeline inherits the width.
         Some(n) => rayon::pool::with_num_threads(n, || run(&opts)),
         None => run(&opts),
     }
+}
+
+/// `repro serve` — start the simulation daemon and run until SIGINT,
+/// then drain: reject queued jobs, cancel in-flight simulations, and
+/// flush the persistent cache index.
+fn run_serve(opts: &Options) {
+    let mut cfg = predictsim_serve::ServeConfig::default();
+    if let Some(addr) = &opts.listen {
+        cfg.addr = addr.clone();
+    }
+    if let Some(n) = opts.serve_workers {
+        cfg.workers = n;
+    } else if let Some(n) = opts.threads {
+        cfg.workers = n;
+    }
+    if let Some(n) = opts.serve_queue {
+        cfg.queue_depth = n;
+    }
+    let server = match predictsim_serve::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start the daemon: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The smoke test and scripted clients scrape this line for the
+    // resolved (possibly ephemeral) port; keep its shape stable.
+    eprintln!("repro serve: listening on {}", server.addr());
+    while !INTERRUPTED.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!(
+        "repro serve: draining ({} job(s) in flight)",
+        server.active_jobs()
+    );
+    server.shutdown();
+    eprintln!("repro serve: cache index flushed, bye");
 }
 
 /// Runs one scenario picked entirely by registry names — the Scenario
@@ -715,6 +842,8 @@ EXPERIMENTS
   ablation   scheduler/correction/optimizer/basis/loss ablations
   all        everything above
   scenario   one simulation picked by the scenario options below
+  serve      simulation daemon: newline-delimited JSON over local TCP,
+             streaming metrics, results byte-identical to `scenario`
 
 OPTIONS
   --scale F    preset scale factor (default 0.05; 1.0 = full Table 4)
@@ -758,4 +887,14 @@ SCENARIO OPTIONS (imply the scenario experiment when no other is named)
                   `cluster:64x1+32x0.5` is two ordered partitions — 64
                   full-speed processors, then 32 at half speed — routed
                   first-fit (default: the workload's own machine)
+
+SERVE OPTIONS (imply the serve experiment when no other is named)
+  --listen ADDR      bind address (default 127.0.0.1:0 — an ephemeral
+                     port, printed on stderr once the daemon is up)
+  --serve-workers N  simulation worker threads (default: --threads, or 2)
+  --serve-queue N    max queued submissions before `busy` (default 16)
+
+Ctrl-C drains the daemon (in-flight jobs cancel cooperatively, the
+cache index is flushed); in batch mode it flushes the persistent cache
+index before exiting, so a killed --cache run still resumes cleanly.
 ";

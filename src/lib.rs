@@ -60,12 +60,14 @@
 //! ## Reproducing the paper
 //!
 //! ```text
-//! cargo run --release -p predictsim-experiments --bin repro -- all
+//! cargo run --release -p predictsim --bin repro -- all
 //! ```
 //!
 //! regenerates Tables 1, 6, 7, 8 and Figures 3, 4, 5 (see EXPERIMENTS.md
 //! for the recorded paper-vs-measured comparison), and `cargo bench`
-//! runs the Criterion harness over the same experiments.
+//! runs the Criterion harness over the same experiments. `repro serve`
+//! keeps the process (and its warm [`serve`] simulation cache) resident
+//! as a local daemon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +75,7 @@
 pub use predictsim_core as core;
 pub use predictsim_experiments as experiments;
 pub use predictsim_metrics as metrics;
+pub use predictsim_serve as serve;
 pub use predictsim_sim as sim;
 pub use predictsim_swf as swf;
 pub use predictsim_workload as workload;

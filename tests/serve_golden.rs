@@ -1,0 +1,110 @@
+//! The daemon's result frames must be **byte-identical** to batch
+//! output — pinned against the pre-refactor golden trace, not just
+//! against today's batch path.
+//!
+//! The G1 mini-log cell (`ave2+incremental+easy-sjbf`, 260 jobs, 3
+//! days, utilization 0.80, seed 20150101) exists in
+//! `tests/golden/mini_pipeline.json`; a submission describing the same
+//! cell over a real socket must stream back a `result` frame whose
+//! embedded `TripleResult` pretty-prints to the exact bytes of that
+//! golden entry — and to the exact bytes batch mode produces.
+
+use predictsim::serve::{
+    batch_result_json, Client, Frame, ServeConfig, Server, Submission, WorkloadRequest,
+};
+use serde::Value;
+
+const GOLDEN_PATH: &str = "tests/golden/mini_pipeline.json";
+
+fn field<'a>(value: &'a Value, name: &str) -> &'a Value {
+    match value {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field {name:?}")),
+        other => panic!("expected a map with field {name:?}, got {other:?}"),
+    }
+}
+
+fn seq(value: &Value) -> &[Value] {
+    match value {
+        Value::Seq(items) => items,
+        other => panic!("expected a sequence, got {other:?}"),
+    }
+}
+
+fn str_of(value: &Value) -> &str {
+    match value {
+        Value::Str(s) => s,
+        other => panic!("expected a string, got {other:?}"),
+    }
+}
+
+/// The G1 `ave2+incremental+easy-sjbf` entry of the golden trace,
+/// pretty-printed standalone.
+fn golden_cell_json() -> String {
+    let text = std::fs::read_to_string(GOLDEN_PATH)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN_PATH} ({e})"));
+    let root: Value = serde_json::from_str(&text).expect("golden file parses");
+    let campaign = seq(field(&root, "campaigns"))
+        .iter()
+        .find(|c| str_of(field(c, "log")) == "G1")
+        .expect("G1 campaign in the golden trace");
+    let cell = seq(field(campaign, "results"))
+        .iter()
+        .find(|r| str_of(field(r, "triple")) == "ave2+incremental+easy-sjbf")
+        .expect("ave2+incremental+easy-sjbf cell in the G1 campaign");
+    serde_json::to_string_pretty(cell).expect("serialize golden cell")
+}
+
+/// The same cell as a daemon submission (G1's spec from
+/// `golden_scenario.rs`: toy defaults, 260 jobs, 3 days, util 0.80,
+/// seed 20150101).
+fn golden_submission() -> Submission {
+    let mut submission = Submission::new(WorkloadRequest::Toy {
+        name: "G1".into(),
+        jobs: 260,
+        duration: 3 * 86_400,
+        utilization: 0.80,
+        seed: 20150101,
+    });
+    submission.scheduler = Some("easy-sjbf".into());
+    submission.predictor = Some("ave2".into());
+    submission.correction = Some("incremental".into());
+    submission
+}
+
+#[test]
+fn daemon_result_frame_is_byte_identical_to_the_golden_trace_and_batch() {
+    let golden = golden_cell_json();
+    let submission = golden_submission();
+
+    // Batch first: the golden entry and `repro scenario`'s JSON are the
+    // same bytes (they share TripleResult + the same serializer).
+    let batch = batch_result_json(&submission).expect("batch run succeeds");
+    assert_eq!(
+        batch, golden,
+        "batch output drifted from the golden G1 cell"
+    );
+
+    // Now the daemon, over a real socket.
+    let server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.submit(&submission).expect("submit");
+    let frames = client.drain_job(1).expect("frames stream back");
+    let result = frames
+        .iter()
+        .find_map(|f| match f {
+            Frame::Result { result, source, .. } => Some((result, source)),
+            _ => None,
+        })
+        .expect("a result frame arrives");
+    assert_eq!(result.1, "simulated", "cold cell must be simulated");
+    let served = serde_json::to_string_pretty(result.0).expect("serialize served cell");
+    assert_eq!(
+        served, golden,
+        "daemon result frame drifted from the golden G1 cell"
+    );
+    server.shutdown();
+}

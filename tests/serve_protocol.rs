@@ -1,0 +1,303 @@
+//! Wire-protocol robustness for the `serve` daemon, over real
+//! sockets: malformed and oversized requests get typed `error` frames
+//! (not disconnects), unknown registry names are rejected before
+//! queueing, half-closed connections still stream their results,
+//! per-request timeouts cancel cooperatively, a full queue answers
+//! `busy`, concurrent cold submissions of the same cell coalesce into
+//! exactly one simulation, and shutdown drains instead of dropping
+//! work.
+//!
+//! Every test starts its own daemon on an ephemeral port; workload
+//! seeds are test-unique so the process-wide `SimCache` cannot turn an
+//! intended cold cell into a cross-test hit.
+
+use std::time::Duration;
+
+use predictsim::serve::{Client, Frame, ServeConfig, Server, Submission, WorkloadRequest};
+
+/// A test-unique toy workload: `seed` keys the cache identity.
+fn toy(name: &str, jobs: usize, seed: u64) -> Submission {
+    let mut submission = Submission::new(WorkloadRequest::Toy {
+        name: name.into(),
+        jobs,
+        duration: 14 * 86_400,
+        utilization: 0.8,
+        seed,
+    });
+    submission.scheduler = Some("easy-sjbf".into());
+    submission.predictor = Some("ave2".into());
+    submission.correction = Some("incremental".into());
+    submission
+}
+
+fn next_ok(client: &mut Client) -> Frame {
+    match client.next_frame().expect("read frame") {
+        Some(Ok(frame)) => frame,
+        Some(Err(e)) => panic!("unparsable frame: {e}"),
+        None => panic!("server closed the connection early"),
+    }
+}
+
+fn await_ack(client: &mut Client) -> u64 {
+    match next_ok(client) {
+        Frame::Ack { job, .. } => job,
+        other => panic!("expected an ack, got {other:?}"),
+    }
+}
+
+/// Skips interleaved frames (metrics, other jobs) until an `error`
+/// frame arrives; returns its `(job, code, message)`.
+fn await_error(client: &mut Client) -> (Option<u64>, String, String) {
+    loop {
+        if let Frame::Error { job, code, message } = next_ok(client) {
+            return (job, code, message);
+        }
+    }
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_session_survives() {
+    let server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    client.send_line("this is not json").expect("send");
+    let (job, code, _) = await_error(&mut client);
+    assert_eq!(job, None);
+    assert_eq!(code, "malformed");
+
+    // A JSON line that is not a request object is malformed too.
+    client.send_line("[1,2,3]").expect("send");
+    let (_, code, _) = await_error(&mut client);
+    assert_eq!(code, "malformed");
+
+    // The connection is still usable.
+    client.ping().expect("ping");
+    assert!(matches!(next_ok(&mut client), Frame::Pong));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_policy_names_are_rejected_before_queueing() {
+    let server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut submission = toy("unknown-policy", 40, 9_101);
+    submission.scheduler = Some("warp-drive".into());
+    client.submit(&submission).expect("submit");
+    let (job, code, message) = await_error(&mut client);
+    assert_eq!(job, None, "rejected before a job id is assigned");
+    assert_eq!(code, "unknown-policy");
+    assert!(
+        message.contains("warp-drive"),
+        "the offending name is echoed: {message}"
+    );
+
+    // A bad workload is only discovered at load time, after the ack —
+    // so that error is job-tagged.
+    client
+        .submit(&Submission::new(WorkloadRequest::Preset {
+            log: "NO-SUCH-LOG".into(),
+            scale: 0.01,
+            seed: 9_102,
+        }))
+        .expect("submit");
+    let job = await_ack(&mut client);
+    let (tagged, code, _) = await_error(&mut client);
+    assert_eq!(tagged, Some(job));
+    assert_eq!(code, "bad-workload");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_lines_are_rejected_but_the_session_continues() {
+    let cfg = ServeConfig {
+        max_line_bytes: 4_096,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let huge = format!("{{\"pad\":\"{}\"}}", "x".repeat(10_000));
+    client.send_line(&huge).expect("send");
+    let (job, code, _) = await_error(&mut client);
+    assert_eq!(job, None);
+    assert_eq!(code, "oversized");
+
+    client.ping().expect("ping");
+    assert!(matches!(next_ok(&mut client), Frame::Pong));
+    server.shutdown();
+}
+
+#[test]
+fn half_closed_connections_still_stream_their_results() {
+    let server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    client
+        .submit(&toy("half-closed", 60, 9_103))
+        .expect("submit");
+    // Close the write half immediately: the daemon sees EOF on its
+    // reader but must keep streaming the submitted job's frames.
+    client.finish_writing().expect("half-close");
+
+    let job = await_ack(&mut client);
+    let frames = client.drain_job(job).expect("frames stream back");
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, Frame::Result { job: j, .. } if *j == job)),
+        "result frame arrives after the half-close: {frames:?}"
+    );
+    // With the job done and the read side at EOF, the daemon closes.
+    assert!(client.next_frame().expect("clean close").is_none());
+    server.shutdown();
+}
+
+#[test]
+fn per_request_timeouts_cancel_cooperatively() {
+    let server = Server::start(ServeConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Big enough that the engine is still mid-simulation when the
+    // 1 ms deadline passes; the cancel hook aborts it between event
+    // batches.
+    let mut submission = toy("timeout", 40_000, 9_104);
+    submission.timeout_ms = Some(1);
+    client.submit(&submission).expect("submit");
+    let job = await_ack(&mut client);
+    let (tagged, code, message) = await_error(&mut client);
+    assert_eq!(tagged, Some(job));
+    assert_eq!(code, "timeout");
+    assert!(message.contains("1 ms"), "deadline echoed: {message}");
+    server.shutdown();
+}
+
+#[test]
+fn full_queues_reject_with_busy() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A occupies the single worker...
+    client
+        .submit(&toy("busy-a", 150_000, 9_105))
+        .expect("submit");
+    await_ack(&mut client);
+    std::thread::sleep(Duration::from_millis(200));
+    // ...B fills the single queue slot...
+    client.submit(&toy("busy-b", 60, 9_106)).expect("submit");
+    await_ack(&mut client);
+    // ...so C bounces with `busy` instead of queueing unboundedly.
+    client.submit(&toy("busy-c", 60, 9_107)).expect("submit");
+    let (job, code, message) = await_error(&mut client);
+    assert_eq!(job, None, "rejected before a job id is assigned");
+    assert_eq!(code, "busy");
+    assert!(
+        message.contains("resubmit"),
+        "actionable message: {message}"
+    );
+    // Dropping the server drains: A cancels cooperatively, B is
+    // rejected with `shutdown` — nothing hangs.
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_cold_submissions_coalesce_into_one_simulation() {
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("daemon starts");
+    let addr = server.addr();
+
+    // Two clients race the same cold cell; the cache's single-flight
+    // layer must run exactly one simulation.
+    let submit = move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .submit(&toy("coalesce", 20_000, 9_108))
+            .expect("submit");
+        let job = await_ack(&mut client);
+        let frames = client.drain_job(job).expect("frames stream back");
+        frames
+            .into_iter()
+            .find_map(|f| match f {
+                Frame::Result { source, result, .. } => {
+                    let json = serde_json::to_string_pretty(&result).expect("result json");
+                    Some((source, json))
+                }
+                _ => None,
+            })
+            .expect("a result frame arrives")
+    };
+    let racer = std::thread::spawn(submit);
+    let (source_a, json_a) = submit();
+    let (source_b, json_b) = racer.join().expect("client thread");
+
+    let simulated = [&source_a, &source_b]
+        .iter()
+        .filter(|s| s.as_str() == "simulated")
+        .count();
+    assert_eq!(
+        simulated, 1,
+        "exactly one client simulates (got {source_a} / {source_b})"
+    );
+    assert_eq!(json_a, json_b, "both clients get byte-identical results");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_and_in_flight_work() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A is in flight when the drain starts; B never leaves the queue.
+    client
+        .submit(&toy("drain-a", 150_000, 9_109))
+        .expect("submit");
+    let job_a = await_ack(&mut client);
+    client.submit(&toy("drain-b", 60, 9_110)).expect("submit");
+    let job_b = await_ack(&mut client);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let reader = std::thread::spawn(move || {
+        let mut outcomes = Vec::new();
+        while let Some(frame) = client.next_frame().expect("read") {
+            match frame.expect("parsable frame") {
+                Frame::Result { job, .. } => outcomes.push((job, "result".to_string())),
+                Frame::Error { job, code, .. } => outcomes.push((job.expect("job-tagged"), code)),
+                _ => {}
+            }
+            if outcomes.len() == 2 {
+                break;
+            }
+        }
+        outcomes
+    });
+    server.shutdown();
+    let outcomes = reader.join().expect("reader thread");
+
+    let of = |job: u64| {
+        outcomes
+            .iter()
+            .find(|(j, _)| *j == job)
+            .map(|(_, o)| o.as_str())
+            .unwrap_or_else(|| panic!("no terminal frame for job {job}: {outcomes:?}"))
+    };
+    // The in-flight job either finished just before the flag was seen
+    // or was cancelled; the queued one must be rejected, not dropped.
+    assert!(
+        of(job_a) == "shutdown" || of(job_a) == "result",
+        "in-flight job resolves on drain: {outcomes:?}"
+    );
+    assert_eq!(of(job_b), "shutdown", "queued job is rejected on drain");
+}
