@@ -1,0 +1,169 @@
+//! Cloud-scale ingestion + heavy-tail engine throughput.
+//!
+//! Two regimes the SWF-era pipeline never saw:
+//!
+//! 1. **Ingestion**: a million-job trace streamed off disk. The printed
+//!    reproduction loads the full `millions-of-users` preset both ways
+//!    — streaming (records become engine jobs as they parse; zero
+//!    intermediate record vectors) and buffered (the
+//!    parse-everything-then-clean reference path) — asserts they are
+//!    byte-identical, and times them. Criterion then measures both
+//!    loaders on a scaled copy.
+//! 2. **Heavy-tail simulation**: EASY-SJBF over a ≥10^5-*user*
+//!    workload, where every per-user touch (running index, user
+//!    histories) hits the dense-interned slabs instead of hash maps.
+//!
+//! The recorded numbers land in the ingestion table and the
+//! engine-throughput heavy-tail row of `EXPERIMENTS.md`. CI runs this
+//! bench in smoke mode (`INGEST_LARGE_SMOKE=1`: 2 samples, 2% scale)
+//! to catch order-of-magnitude regressions cheaply.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictsim_core::{Ave2Predictor, IncrementalCorrection, MlPredictor};
+use predictsim_experiments::{SwfSource, WorkloadSource};
+use predictsim_sim::scheduler::EasyScheduler;
+use predictsim_sim::{simulate, RuntimePredictor};
+use predictsim_workload::presets::millions_of_users;
+use predictsim_workload::{generate, GeneratedWorkload};
+
+fn smoke() -> bool {
+    std::env::var_os("INGEST_LARGE_SMOKE").is_some()
+}
+
+fn smoke_samples(full: usize) -> usize {
+    if smoke() {
+        2
+    } else {
+        full
+    }
+}
+
+/// The full cloud-scale stressor (1M jobs, 400k users) — or a 2% copy
+/// in smoke mode.
+fn full_workload() -> GeneratedWorkload {
+    let spec = if smoke() {
+        millions_of_users().scaled(0.02)
+    } else {
+        millions_of_users()
+    };
+    generate(&spec, 20150101)
+}
+
+/// A scaled copy for Criterion's repeated sampling (the full trace is
+/// only loaded/simulated once each, in the printed reproduction).
+fn measure_workload() -> GeneratedWorkload {
+    let scale = if smoke() { 0.01 } else { 0.05 };
+    generate(&millions_of_users().scaled(scale), 20150101)
+}
+
+fn write_swf(w: &GeneratedWorkload, name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, predictsim_swf::write_log(&w.to_swf())).expect("write swf");
+    path
+}
+
+fn ingest_large(c: &mut Criterion) {
+    // Printed reproduction: the full-size trace, loaded once each way.
+    let w = full_workload();
+    let path = write_swf(&w, "predictsim_ingest_large_full.swf");
+    let mbytes = std::fs::metadata(&path).expect("stat").len() as f64 / 1e6;
+
+    let t = std::time::Instant::now();
+    let streamed = SwfSource::new(&path).load().expect("stream load");
+    let stream_secs = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let eager = SwfSource::new(&path)
+        .with_eager()
+        .load()
+        .expect("eager load");
+    let eager_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        &streamed.jobs[..],
+        &eager.jobs[..],
+        "streaming and buffered loads must be byte-identical"
+    );
+    assert_eq!(
+        streamed.stats.buffered_records, 0,
+        "streaming must not buffer"
+    );
+    let jobs = streamed.jobs.len();
+    eprintln!(
+        "ingest_large: {jobs} jobs / {} users / {mbytes:.1} MB swf; \
+         stream {stream_secs:.2}s ({:.0} kjobs/s, record_vecs=0), \
+         eager {eager_secs:.2}s ({:.0} kjobs/s, {} buffered records)",
+        streamed.jobs.user_count(),
+        jobs as f64 / stream_secs / 1e3,
+        jobs as f64 / eager_secs / 1e3,
+        eager.stats.buffered_records,
+    );
+    std::fs::remove_file(&path).ok();
+
+    // Measured: both loaders on the scaled copy.
+    let small = measure_workload();
+    let small_path = write_swf(&small, "predictsim_ingest_large_measure.swf");
+    let mut g = c.benchmark_group("ingest_large");
+    g.sample_size(smoke_samples(10));
+    g.throughput(criterion::Throughput::Elements(small.jobs.len() as u64));
+    g.bench_function("stream_load", |b| {
+        b.iter(|| std::hint::black_box(SwfSource::new(&small_path).load().unwrap()))
+    });
+    g.bench_function("eager_load", |b| {
+        b.iter(|| std::hint::black_box(SwfSource::new(&small_path).with_eager().load().unwrap()))
+    });
+    g.finish();
+    std::fs::remove_file(&small_path).ok();
+}
+
+fn heavy_tail_engine(c: &mut Criterion) {
+    // Printed reproduction: EASY-SJBF over the full heavy-tail trace,
+    // once per predictor — the engine-throughput rows for EXPERIMENTS.md.
+    let w = full_workload();
+    let cfg = w.sim_config();
+    eprintln!(
+        "heavy_tail workload: {} jobs, {} active users, machine {}",
+        w.jobs.len(),
+        w.stats.active_users,
+        w.machine_size
+    );
+    let run = |label: &str, pred: &mut dyn RuntimePredictor| {
+        let corr = IncrementalCorrection::new();
+        let t = std::time::Instant::now();
+        let bsld = simulate(&w.jobs, cfg, &mut EasyScheduler::sjbf(), pred, Some(&corr))
+            .unwrap()
+            .ave_bsld();
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!(
+            "heavy_tail {label}: {secs:.1}s ({:.0} kjobs/s), AVEbsld {bsld:.2}",
+            w.jobs.len() as f64 / secs / 1e3
+        );
+    };
+    run("easy_sjbf_ave2", &mut Ave2Predictor::new());
+    run("easy_sjbf_eloss", &mut MlPredictor::e_loss());
+
+    // Measured: the scaled copy under Criterion.
+    let small = measure_workload();
+    let small_cfg = small.sim_config();
+    let mut g = c.benchmark_group("engine_heavy_tail");
+    g.sample_size(smoke_samples(10));
+    g.throughput(criterion::Throughput::Elements(small.jobs.len() as u64));
+    g.bench_function("easy_sjbf_ave2", |b| {
+        b.iter(|| {
+            let mut pred = Ave2Predictor::new();
+            let corr = IncrementalCorrection::new();
+            std::hint::black_box(
+                simulate(
+                    &small.jobs,
+                    small_cfg,
+                    &mut EasyScheduler::sjbf(),
+                    &mut pred,
+                    Some(&corr),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ingest_large, heavy_tail_engine);
+criterion_main!(benches);

@@ -134,6 +134,7 @@ mod tests {
             requested: 500_000,
             procs: 1,
             user: 1,
+            user_ix: 1,
             swf_id: 0,
         }
     }

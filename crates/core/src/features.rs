@@ -15,8 +15,6 @@ use predictsim_sim::state::SystemView;
 use predictsim_sim::time::{DAY, WEEK};
 use predictsim_sim::Job;
 
-use predictsim_sim::hash::FxHashMap;
-
 /// Number of features in the Table 2 representation.
 pub const N_FEATURES: usize = 20;
 
@@ -61,6 +59,14 @@ struct UserHistory {
 }
 
 impl UserHistory {
+    /// Whether any activity (submit or completion) has been recorded.
+    /// A fresh slab slot is indistinguishable from an absent one: every
+    /// feature read from an untouched history is the documented
+    /// "no history" default.
+    fn touched(&self) -> bool {
+        self.submitted > 0 || self.completed > 0
+    }
+
     fn record_submit(&mut self, procs: u32) {
         self.sum_procs += procs as f64;
         self.submitted += 1;
@@ -107,9 +113,18 @@ impl UserHistory {
 /// 1. at submission: [`FeatureExtractor::extract`], *then*
 ///    [`FeatureExtractor::record_submit`];
 /// 2. at completion: [`FeatureExtractor::record_completion`].
+///
+/// Histories live in a flat slab indexed by the *interned* dense user
+/// index (`Job::user_ix`, assigned at load time) — the extractor never
+/// hashes a user id on the per-event path. An untouched slab slot
+/// carries the same default feature values as an absent map entry did,
+/// so the slab is behavior-identical to the former `FxHashMap`.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureExtractor {
-    users: FxHashMap<u32, UserHistory>,
+    /// `users[user_ix]` = that user's history, grown lazily.
+    users: Vec<UserHistory>,
+    /// Number of slots with recorded activity (maintained counter).
+    active: usize,
 }
 
 impl FeatureExtractor {
@@ -118,9 +133,21 @@ impl FeatureExtractor {
         Self::default()
     }
 
+    fn slot_mut(&mut self, user_ix: u32) -> &mut UserHistory {
+        let ix = user_ix as usize;
+        if ix >= self.users.len() {
+            self.users.resize_with(ix + 1, UserHistory::default);
+        }
+        let hist = &mut self.users[ix];
+        if !hist.touched() {
+            self.active += 1;
+        }
+        hist
+    }
+
     /// Builds the Table 2 feature vector for `job` at its release date.
     pub fn extract(&self, job: &Job, system: &SystemView<'_>) -> [f64; N_FEATURES] {
-        let hist = self.users.get(&job.user);
+        let hist = self.users.get(job.user_ix as usize);
         let now = system.now.0;
 
         // Historical run-time features.
@@ -168,12 +195,12 @@ impl FeatureExtractor {
         };
         match system.user_running {
             Some(index) => {
-                for &(procs, start) in index.of_user(job.user) {
+                for &(procs, start) in index.of_user(job.user_ix) {
                     tally(procs, start);
                 }
             }
             None => {
-                for r in system.running_of_user(job.user) {
+                for r in system.running_of_user(job.user_ix) {
                     tally(r.procs, r.start);
                 }
             }
@@ -221,32 +248,29 @@ impl FeatureExtractor {
     /// Records that `job` was submitted (updates the resource-request
     /// history). Call after [`FeatureExtractor::extract`].
     pub fn record_submit(&mut self, job: &Job) {
-        self.users
-            .entry(job.user)
-            .or_default()
-            .record_submit(job.procs);
+        self.slot_mut(job.user_ix).record_submit(job.procs);
     }
 
     /// Records a completion of `job` with granted running time
     /// `actual_run` at instant `now`.
     pub fn record_completion(&mut self, job: &Job, actual_run: i64, now: i64) {
-        self.users
-            .entry(job.user)
-            .or_default()
+        self.slot_mut(job.user_ix)
             .record_completion(actual_run, now);
     }
 
     /// The user's AVE2 (mean of the last ≤2 completed run times), or
     /// `None` with no history — used directly by the AVE2 baseline
-    /// predictor of Tsafrir et al. \[24\].
-    pub fn ave2(&self, user: u32) -> Option<f64> {
-        let h = self.users.get(&user)?;
+    /// predictor of Tsafrir et al. \[24\]. Keyed by the interned
+    /// `user_ix`, like every other per-user lookup.
+    pub fn ave2(&self, user_ix: u32) -> Option<f64> {
+        let h = self.users.get(user_ix as usize)?;
         (h.completed > 0).then(|| h.ave_last(2))
     }
 
-    /// Number of users with any recorded activity.
+    /// Number of users with any recorded activity (maintained counter,
+    /// O(1)).
     pub fn user_count(&self) -> usize {
-        self.users.len()
+        self.active
     }
 }
 
@@ -265,6 +289,7 @@ mod tests {
             requested,
             procs,
             user,
+            user_ix: user,
             swf_id: 0,
         }
     }

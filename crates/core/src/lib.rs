@@ -50,6 +50,7 @@
 //!         requested: 36_000,
 //!         procs: 4,
 //!         user: 0,
+//!         user_ix: 0,
 //!         swf_id: i as u64,
 //!     })
 //!     .collect();

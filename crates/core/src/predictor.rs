@@ -42,7 +42,7 @@ impl Ave2Predictor {
 impl RuntimePredictor for Ave2Predictor {
     fn predict(&mut self, job: &Job, _system: &SystemView<'_>) -> f64 {
         self.extractor
-            .ave2(job.user)
+            .ave2(job.user_ix)
             .unwrap_or(job.requested as f64)
     }
 
@@ -276,6 +276,7 @@ mod tests {
             requested,
             procs: 2,
             user,
+            user_ix: user,
             swf_id: id as u64,
         }
     }

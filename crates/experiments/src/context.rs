@@ -58,13 +58,25 @@ impl ExperimentSetup {
 
     /// Finds one Table 4 spec at this setup's scale by name prefix
     /// (case-insensitive) — the lookup rule `--log` and
-    /// [`ExperimentSetup::workload`] share.
+    /// [`ExperimentSetup::workload`] share. Names outside Table 4 fall
+    /// back to the full preset registry (`toy`, the cloud-scale
+    /// `millions-of-users` stressor), scaled the same way.
     pub fn spec(&self, name: &str) -> Option<WorkloadSpec> {
-        self.specs().into_iter().find(|s| {
-            s.name
-                .to_ascii_lowercase()
-                .starts_with(&name.to_ascii_lowercase())
-        })
+        self.specs()
+            .into_iter()
+            .find(|s| {
+                s.name
+                    .to_ascii_lowercase()
+                    .starts_with(&name.to_ascii_lowercase())
+            })
+            .or_else(|| {
+                let s = predictsim_workload::by_name(name)?;
+                Some(if (self.scale - 1.0).abs() < f64::EPSILON {
+                    s
+                } else {
+                    s.scaled(self.scale)
+                })
+            })
     }
 
     /// Generates one workload by Table 4 name (case-insensitive).
@@ -104,5 +116,20 @@ mod tests {
         let w = setup.workload("curie").expect("curie exists");
         assert_eq!(w.machine_size, 80_640);
         assert!(setup.workload("nope").is_none());
+    }
+
+    #[test]
+    fn non_table4_presets_resolve_scaled() {
+        let setup = ExperimentSetup {
+            scale: 0.001,
+            seed: 1,
+        };
+        let s = setup.spec("millions-of-users").expect("registry fallback");
+        assert_eq!(s.jobs, 1_000, "scaled to 0.1%");
+        assert_eq!(s.users, 400_000, "population is not scaled");
+        let full = ExperimentSetup::full()
+            .spec("millions-of-users")
+            .expect("full scale");
+        assert_eq!(full.jobs, 1_000_000);
     }
 }

@@ -51,6 +51,7 @@ pub mod scenario;
 pub mod source;
 pub mod tables;
 pub mod timing;
+pub mod trace;
 pub mod triple;
 
 pub use cache::{CacheStats, CachedCell, CellSource, SimCache};
@@ -65,8 +66,9 @@ pub use registry::{
 };
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
 pub use source::{
-    JobArena, LoadedWorkload, SourceError, SwfSource, SyntheticSource, WorkloadSource,
+    JobArena, LoadStats, LoadedWorkload, SourceError, SwfSource, SyntheticSource, WorkloadSource,
 };
+pub use trace::{AlibabaSource, GoogleSource};
 pub use triple::{
     campaign_triples, reference_triples, CorrectionKind, HeuristicTriple, PredictionTechnique,
     Variant,

@@ -290,6 +290,7 @@ mod tests {
             requested: 200,
             procs: 1,
             user: 0,
+            user_ix: 0,
             swf_id: 0,
         };
         for _ in 0..25 {

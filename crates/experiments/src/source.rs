@@ -23,9 +23,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use predictsim_sim::job::JobConversionError;
-use predictsim_sim::{jobs_from_swf, Job, SimConfig};
+use predictsim_sim::{intern_users, job_from_swf, jobs_from_swf, Job, JobId, SimConfig};
 use predictsim_swf::reader::ParseError;
-use predictsim_swf::{clean, parse_log, CleaningReport, CleaningRules};
+use predictsim_swf::{clean, parse_log, CleaningReport, CleaningRules, SwfStream};
 use predictsim_workload::{generate, GeneratedWorkload, WorkloadSpec};
 
 /// Why a workload source failed to produce simulator-ready jobs.
@@ -100,20 +100,33 @@ pub struct JobArena {
 struct ArenaInner {
     jobs: Vec<Job>,
     fingerprint: u64,
+    user_count: u32,
 }
 
 impl JobArena {
     /// Takes ownership of `jobs`, fingerprinting them once.
     pub fn new(jobs: Vec<Job>) -> Self {
         let fingerprint = fingerprint_jobs(&jobs);
+        let user_count = jobs.iter().map(|j| j.user_ix + 1).max().unwrap_or(0);
         Self {
-            inner: Arc::new(ArenaInner { jobs, fingerprint }),
+            inner: Arc::new(ArenaInner {
+                jobs,
+                fingerprint,
+                user_count,
+            }),
         }
     }
 
     /// The jobs as a slice.
     pub fn jobs(&self) -> &[Job] {
         &self.inner.jobs
+    }
+
+    /// Number of distinct (interned) users: `user_ix` spans
+    /// `0..user_count`. Sized once at arena construction so per-user
+    /// slabs can be pre-allocated without scanning.
+    pub fn user_count(&self) -> u32 {
+        self.inner.user_count
     }
 
     /// A stable 64-bit content fingerprint (FNV-1a over every job
@@ -179,6 +192,20 @@ fn fingerprint_jobs(jobs: &[Job]) -> u64 {
     fnv1a64(words.flat_map(u64::to_le_bytes))
 }
 
+/// How a workload was materialized — the perf-accounting side channel
+/// for the streaming ingestion path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Whether the streaming (single-pass, no intermediate record
+    /// vector) SWF path produced this workload.
+    pub streamed: bool,
+    /// SWF records held in an intermediate `Vec<SwfRecord>` before job
+    /// conversion. `0` on the streaming path — records become engine
+    /// jobs as they are parsed — and the full pre-clean record count on
+    /// the buffered path.
+    pub buffered_records: usize,
+}
+
 /// A simulator-ready workload, whatever it was loaded from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadedWorkload {
@@ -192,6 +219,8 @@ pub struct LoadedWorkload {
     pub jobs: JobArena,
     /// What cleaning did, when the workload came through the SWF path.
     pub cleaning: Option<CleaningReport>,
+    /// How the jobs were materialized (streaming vs buffered).
+    pub stats: LoadStats,
 }
 
 impl LoadedWorkload {
@@ -208,6 +237,7 @@ impl From<GeneratedWorkload> for LoadedWorkload {
             machine_size: w.machine_size,
             jobs: JobArena::new(w.jobs),
             cleaning: None,
+            stats: LoadStats::default(),
         }
     }
 }
@@ -219,6 +249,7 @@ impl From<&GeneratedWorkload> for LoadedWorkload {
             machine_size: w.machine_size,
             jobs: JobArena::new(w.jobs.clone()),
             cleaning: None,
+            stats: LoadStats::default(),
         }
     }
 }
@@ -332,6 +363,7 @@ pub struct SwfSource {
     input: SwfInput,
     rules: CleaningRules,
     machine_size: Option<u32>,
+    eager: bool,
 }
 
 impl SwfSource {
@@ -341,6 +373,7 @@ impl SwfSource {
             input: SwfInput::File(path.as_ref().to_path_buf()),
             rules: CleaningRules::default(),
             machine_size: None,
+            eager: false,
         }
     }
 
@@ -353,6 +386,7 @@ impl SwfSource {
             },
             rules: CleaningRules::default(),
             machine_size: None,
+            eager: false,
         }
     }
 
@@ -370,6 +404,14 @@ impl SwfSource {
         self
     }
 
+    /// Forces the buffered (parse-everything-then-clean) path instead of
+    /// the streaming one. The two are byte-identical; this exists for
+    /// differential tests and for benchmarking the streaming win.
+    pub fn with_eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
     fn name(&self) -> String {
         match &self.input {
             SwfInput::File(path) => path
@@ -381,8 +423,110 @@ impl SwfSource {
     }
 }
 
-impl WorkloadSource for SwfSource {
-    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+/// Repair-intent bits tracked per kept record on the streaming path.
+/// Job conversion clamps `requested` to `max(effective requested, run)`,
+/// which makes both estimate repairs value-neutral on converted jobs —
+/// only the *counters* must survive, and only for records that also
+/// survive the (deferred) oversize drop.
+const WANT_ESTIMATE: u8 = 1 << 0;
+const WANT_INVERSION: u8 = 1 << 1;
+
+impl SwfSource {
+    /// Single-pass load: records become engine jobs as they stream off
+    /// the parser; no intermediate record vector is ever built. Produces
+    /// bit-for-bit the same `LoadedWorkload` (jobs, machine size,
+    /// cleaning report) as [`SwfSource::load_eager`].
+    ///
+    /// Requires `rules.drop_unrunnable` (the default): inline conversion
+    /// needs every kept record to carry a run time and processor count.
+    fn load_streaming<R: std::io::BufRead>(
+        &self,
+        mut stream: SwfStream<R>,
+    ) -> Result<LoadedWorkload, SourceError> {
+        let rules = self.rules;
+        debug_assert!(rules.drop_unrunnable, "streaming needs inline conversion");
+        let mut report = CleaningReport::default();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut repairs: Vec<u8> = Vec::new();
+        // Largest processor request over *all* parsed records (including
+        // dropped ones) — the headerless machine-size fallback matches
+        // `SwfLog::machine_size` on the pre-clean log.
+        let mut max_procs: u64 = 0;
+        for record in stream.by_ref() {
+            let r = record?;
+            if let Some(q) = r.effective_procs() {
+                max_procs = max_procs.max(q as u64);
+            }
+            let Some(p) = r.run_time_opt() else {
+                report.dropped_unrunnable += 1;
+                continue;
+            };
+            if r.effective_procs().is_none() {
+                report.dropped_unrunnable += 1;
+                continue;
+            }
+            let mut want = 0u8;
+            match r.requested_time_opt() {
+                None if rules.repair_missing_estimates => want |= WANT_ESTIMATE,
+                Some(pt) if rules.repair_estimate_inversions && pt < p => want |= WANT_INVERSION,
+                _ => {}
+            }
+            jobs.push(job_from_swf(JobId(jobs.len() as u32), &r)?);
+            repairs.push(want);
+        }
+        let header = stream.into_header();
+        let machine_size = match self.machine_size {
+            Some(m) => m as u64,
+            None => header
+                .machine_size()
+                .or((max_procs > 0).then_some(max_procs))
+                .ok_or(SourceError::UnknownMachineSize)?,
+        };
+        if rules.drop_oversize {
+            // Stable in-place compaction, keeping the repair sidecar in
+            // tandem so repairs on oversize records are not counted.
+            let mut keep = 0;
+            for i in 0..jobs.len() {
+                if jobs[i].procs as u64 > machine_size {
+                    report.dropped_oversize += 1;
+                } else {
+                    jobs.swap(keep, i);
+                    repairs.swap(keep, i);
+                    keep += 1;
+                }
+            }
+            jobs.truncate(keep);
+            repairs.truncate(keep);
+        }
+        report.repaired_estimates = repairs.iter().filter(|w| **w & WANT_ESTIMATE != 0).count();
+        report.repaired_inversions = repairs.iter().filter(|w| **w & WANT_INVERSION != 0).count();
+        drop(repairs);
+        if rules.sort_by_submit {
+            let sorted = jobs.windows(2).all(|w| w[0].submit <= w[1].submit);
+            if !sorted {
+                report.reordered = true;
+                jobs.sort_by_key(|j| (j.submit, j.swf_id));
+            }
+        }
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(i as u32);
+        }
+        intern_users(&mut jobs);
+        report.kept = jobs.len();
+        self.finish(
+            jobs,
+            machine_size,
+            report,
+            LoadStats {
+                streamed: true,
+                buffered_records: 0,
+            },
+        )
+    }
+
+    /// The buffered reference path: parse the whole log, clean it, then
+    /// convert.
+    fn load_eager(&self) -> Result<LoadedWorkload, SourceError> {
         let mut log = match &self.input {
             SwfInput::File(path) => {
                 let text = std::fs::read_to_string(path).map_err(|e| SourceError::Io {
@@ -393,12 +537,32 @@ impl WorkloadSource for SwfSource {
             }
             SwfInput::Text { text, .. } => parse_log(text)?,
         };
+        let buffered_records = log.records.len();
         let machine_size = match self.machine_size {
             Some(m) => m as u64,
             None => log.machine_size().ok_or(SourceError::UnknownMachineSize)?,
         };
         let report = clean(&mut log, machine_size, self.rules);
         let jobs = jobs_from_swf(&log.records)?;
+        self.finish(
+            jobs,
+            machine_size,
+            report,
+            LoadStats {
+                streamed: false,
+                buffered_records,
+            },
+        )
+    }
+
+    /// Shared tail: validate and assemble the `LoadedWorkload`.
+    fn finish(
+        &self,
+        jobs: Vec<Job>,
+        machine_size: u64,
+        report: CleaningReport,
+        stats: LoadStats,
+    ) -> Result<LoadedWorkload, SourceError> {
         for job in &jobs {
             job.validate().map_err(SourceError::Invalid)?;
             if job.procs as u64 > machine_size {
@@ -417,7 +581,31 @@ impl WorkloadSource for SwfSource {
             machine_size,
             jobs: JobArena::new(jobs),
             cleaning: Some(report),
+            stats,
         })
+    }
+}
+
+impl WorkloadSource for SwfSource {
+    fn load(&self) -> Result<LoadedWorkload, SourceError> {
+        // Streaming conversion needs `drop_unrunnable` so every kept
+        // record is convertible on sight; oddball rule sets fall back to
+        // the buffered reference path.
+        if self.eager || !self.rules.drop_unrunnable {
+            return self.load_eager();
+        }
+        match &self.input {
+            SwfInput::File(path) => {
+                let file = std::fs::File::open(path).map_err(|e| SourceError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+                self.load_streaming(SwfStream::new(std::io::BufReader::new(file)))
+            }
+            SwfInput::Text { text, .. } => {
+                self.load_streaming(SwfStream::new(std::io::Cursor::new(text.as_bytes())))
+            }
+        }
     }
 
     fn describe(&self) -> String {
@@ -439,6 +627,53 @@ mod tests {
 2 10 -1 50 1 -1 -1 1 100 -1 1 4 1 1 1 -1 -1 -1
 3 20 -1 -1 1 -1 -1 1 100 -1 0 4 1 1 1 -1 -1 -1
 ";
+
+    /// Exercises every cleaning-report field at once: out-of-order
+    /// submits, an unrunnable record (each of the two ways), an oversize
+    /// job, a missing estimate, an estimate inversion, and a trailing
+    /// header comment (late `into_header` ingestion).
+    const NASTY: &str = "\
+; MaxProcs: 8
+5 40 -1 60 1 -1 -1 1 120 -1 1 9 1 1 1 -1 -1 -1
+1 0 -1 100 2 -1 -1 2 -1 -1 1 3 1 1 1 -1 -1 -1
+2 10 -1 100 1 -1 -1 1 50 -1 1 4 1 1 1 -1 -1 -1
+3 20 -1 -1 1 -1 -1 1 100 -1 0 4 1 1 1 -1 -1 -1
+4 30 -1 10 16 -1 -1 16 100 -1 1 5 1 1 1 -1 -1 -1
+6 50 -1 10 -1 -1 -1 -1 100 -1 1 9 1 1 1 -1 -1 -1
+; Computer: nasty-cluster
+";
+
+    /// Streaming and buffered loads of the same source must agree on
+    /// everything except the `stats` accounting.
+    fn assert_stream_eager_identical(source: SwfSource, parsed_records: usize) -> LoadedWorkload {
+        let streamed = source.clone().load().unwrap();
+        let eager = source.with_eager().load().unwrap();
+        assert_eq!(streamed.name, eager.name);
+        assert_eq!(streamed.machine_size, eager.machine_size);
+        assert_eq!(streamed.cleaning, eager.cleaning);
+        assert_eq!(
+            &streamed.jobs[..],
+            &eager.jobs[..],
+            "streaming load must be byte-identical to the buffered one"
+        );
+        assert_eq!(streamed.jobs.fingerprint(), eager.jobs.fingerprint());
+        assert_eq!(streamed.jobs.user_count(), eager.jobs.user_count());
+        assert_eq!(
+            streamed.stats,
+            LoadStats {
+                streamed: true,
+                buffered_records: 0
+            }
+        );
+        assert_eq!(
+            eager.stats,
+            LoadStats {
+                streamed: false,
+                buffered_records: parsed_records
+            }
+        );
+        streamed
+    }
 
     #[test]
     fn synthetic_source_matches_direct_generation() {
@@ -519,6 +754,102 @@ mod tests {
             .unwrap();
         assert_eq!(w.machine_size, 16);
         assert!(w.jobs.is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_every_fixture() {
+        assert_stream_eager_identical(SwfSource::from_text("mini", MINI), 3);
+        let nasty = assert_stream_eager_identical(SwfSource::from_text("nasty", NASTY), 6);
+        let report = nasty.cleaning.unwrap();
+        assert_eq!(report.dropped_unrunnable, 2);
+        assert_eq!(report.dropped_oversize, 1);
+        assert_eq!(report.repaired_estimates, 1);
+        assert_eq!(report.repaired_inversions, 1);
+        assert!(report.reordered);
+        assert_eq!(report.kept, 3);
+        // Jobs come out submit-sorted, densely renumbered, interned in
+        // first-appearance order.
+        let submits: Vec<i64> = nasty.jobs.iter().map(|j| j.submit.0).collect();
+        assert_eq!(submits, vec![0, 10, 40]);
+        assert_eq!(
+            nasty.jobs.iter().map(|j| j.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            nasty.jobs.iter().map(|j| j.user_ix).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // The inversion/missing-estimate repairs are value-identical.
+        assert_eq!(nasty.jobs[0].requested, 100);
+        assert_eq!(nasty.jobs[1].requested, 100);
+        // Headerless fragment: machine size inferred from records on
+        // both paths.
+        let headerless = "1 0 -1 100 2 -1 -1 2 200 -1 1 3 1 1 1 -1 -1 -1\n";
+        let frag = assert_stream_eager_identical(SwfSource::from_text("frag", headerless), 1);
+        assert_eq!(frag.machine_size, 2);
+        // Machine-size override shrinks the machine and drops oversize
+        // jobs identically.
+        let small = assert_stream_eager_identical(
+            SwfSource::from_text("mini-small", MINI).with_machine_size(1),
+            3,
+        );
+        assert_eq!(small.machine_size, 1);
+        assert_eq!(small.cleaning.unwrap().dropped_oversize, 1);
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_a_generated_round_trip() {
+        let w = generate(&WorkloadSpec::toy(), 9);
+        let dir = std::env::temp_dir();
+        let path = dir.join("predictsim_stream_eager_test.swf");
+        std::fs::write(&path, write_log(&w.to_swf())).unwrap();
+        let loaded = assert_stream_eager_identical(SwfSource::new(&path), w.jobs.len());
+        std::fs::remove_file(&path).ok();
+        assert_eq!(&loaded.jobs[..], &w.jobs[..]);
+    }
+
+    #[test]
+    fn streaming_error_parity_with_eager() {
+        // Parse errors surface identically.
+        let bad = SwfSource::from_text("bad", "1 2 three\n");
+        let s = bad.clone().load().unwrap_err();
+        let e = bad.with_eager().load().unwrap_err();
+        assert_eq!(s, e);
+        assert!(matches!(s, SourceError::Parse(_)));
+        // Unknown machine size surfaces identically.
+        let empty = SwfSource::from_text("empty", "; Note: nothing\n");
+        let s = empty.clone().load().unwrap_err();
+        let e = empty.with_eager().load().unwrap_err();
+        assert_eq!(s, SourceError::UnknownMachineSize);
+        assert_eq!(s, e);
+        // Disabled oversize dropping rejects the shrunk machine the same
+        // way on both paths (streaming still applies: drop_unrunnable on).
+        let rules = CleaningRules {
+            drop_oversize: false,
+            ..CleaningRules::default()
+        };
+        let src = SwfSource::from_text("mini", MINI)
+            .with_rules(rules)
+            .with_machine_size(1);
+        let s = src.clone().load().unwrap_err();
+        let e = src.with_eager().load().unwrap_err();
+        assert_eq!(s, e);
+        assert!(matches!(s, SourceError::Invalid(_)));
+    }
+
+    #[test]
+    fn non_streamable_rules_fall_back_to_the_buffered_path() {
+        let rules = CleaningRules {
+            drop_unrunnable: false,
+            ..CleaningRules::default()
+        };
+        // MINI's record 3 has no run time: with the drop disabled it
+        // must fail conversion — via the buffered path.
+        let err = SwfSource::from_text("mini", MINI)
+            .with_rules(rules)
+            .load()
+            .unwrap_err();
+        assert!(matches!(err, SourceError::Conversion(_)));
     }
 
     #[test]

@@ -301,6 +301,7 @@ mod tests {
                 requested: 2000,
                 procs: 1 + i % 4,
                 user: i % 3,
+                user_ix: i % 3,
                 swf_id: i as u64,
             })
             .collect();

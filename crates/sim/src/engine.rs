@@ -482,7 +482,7 @@ impl<'a> Engine<'a> {
                     predicted: prediction,
                     requested: job.requested,
                     submit: job.submit,
-                    user: job.user,
+                    user: job.user_ix,
                 });
             }
         }
@@ -599,6 +599,7 @@ mod tests {
             requested,
             procs,
             user,
+            user_ix: user,
             swf_id: id as u64 + 1,
         }
     }

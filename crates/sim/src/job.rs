@@ -43,7 +43,16 @@ pub struct Job {
     /// Resource requirement `q_j` (processor count, ≥ 1).
     pub procs: u32,
     /// Submitting user, for the per-user features of Table 2.
+    ///
+    /// This is the *raw* id from the source trace (SWF user id + 1, a
+    /// hash for cloud traces, …) — arbitrary and possibly sparse. It is
+    /// what appears in outcomes and SWF round trips.
     pub user: u32,
+    /// Dense interned user index in `0..U`, assigned once at load time
+    /// by [`intern_users`] in first-appearance order. Every per-event
+    /// user lookup (running index, prediction histories) indexes flat
+    /// slabs with this, never hashing `user`.
+    pub user_ix: u32,
     /// Original SWF job number, for traceability back to the log.
     pub swf_id: u64,
 }
@@ -128,17 +137,38 @@ pub fn job_from_swf(id: JobId, r: &SwfRecord) -> Result<Job, JobConversionError>
         requested,
         procs: procs as u32,
         user,
+        user_ix: 0, // assigned by `intern_users` once the full set is known
         swf_id: r.job_id,
     })
 }
 
-/// Converts a whole cleaned record slice, assigning dense ids in order.
+/// Converts a whole cleaned record slice, assigning dense ids in order
+/// and interning user ids (see [`intern_users`]).
 pub fn jobs_from_swf(records: &[SwfRecord]) -> Result<Vec<Job>, JobConversionError> {
-    records
+    let mut jobs: Vec<Job> = records
         .iter()
         .enumerate()
         .map(|(i, r)| job_from_swf(JobId(i as u32), r))
-        .collect()
+        .collect::<Result<_, _>>()?;
+    intern_users(&mut jobs);
+    Ok(jobs)
+}
+
+/// Interns the (arbitrary, possibly sparse) raw `user` ids of `jobs`
+/// into dense `user_ix` indices `0..U`, assigned in first-appearance
+/// order, and returns `U` (the number of distinct users).
+///
+/// Every workload loader calls this exactly once after the final job
+/// order is fixed, so equal job sequences always get equal interned
+/// indices regardless of which source produced them.
+pub fn intern_users(jobs: &mut [Job]) -> u32 {
+    let mut interned: crate::hash::FxHashMap<u32, u32> =
+        crate::hash::FxHashMap::with_capacity_and_hasher(1024, Default::default());
+    for job in jobs.iter_mut() {
+        let next = interned.len() as u32;
+        job.user_ix = *interned.entry(job.user).or_insert(next);
+    }
+    interned.len() as u32
 }
 
 #[cfg(test)]
@@ -222,6 +252,30 @@ mod tests {
         assert_eq!(jobs[0].id, JobId(0));
         assert_eq!(jobs[1].id, JobId(1));
         assert_eq!(jobs[1].run, 30);
+    }
+
+    #[test]
+    fn interning_is_first_appearance_dense() {
+        let records = vec![
+            swf(10, 1, 20, 900_000),
+            swf(10, 1, 20, 3),
+            swf(10, 1, 20, 900_000),
+            swf(10, 1, 20, MISSING),
+            swf(10, 1, 20, 3),
+        ];
+        let jobs = jobs_from_swf(&records).unwrap();
+        let ixs: Vec<u32> = jobs.iter().map(|j| j.user_ix).collect();
+        assert_eq!(ixs, [0, 1, 0, 2, 1]);
+        assert_eq!(jobs[0].user, 900_001, "raw ids survive interning");
+        assert_eq!(jobs[3].user, 0, "missing user keeps the sentinel");
+    }
+
+    #[test]
+    fn intern_users_returns_distinct_count() {
+        let records = vec![swf(10, 1, 20, 5), swf(10, 1, 20, 5), swf(10, 1, 20, 9)];
+        let mut jobs = jobs_from_swf(&records).unwrap();
+        assert_eq!(intern_users(&mut jobs), 2);
+        assert_eq!(intern_users(&mut []), 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //!         requested: 600,
 //!         procs: 1,
 //!         user: i % 2,
+//!         user_ix: i % 2,
 //!         swf_id: i as u64,
 //!     })
 //!     .collect();
@@ -498,6 +499,7 @@ mod tests {
                 requested: 400,
                 procs: 1 + i % 3,
                 user: i % 2,
+                user_ix: i % 2,
                 swf_id: i as u64,
             })
             .collect()
@@ -582,6 +584,7 @@ mod tests {
             requested: 1000,
             procs: 1,
             user: 0,
+            user_ix: 0,
             swf_id: 0,
         }];
         let corr = RequestedTimeCorrection;

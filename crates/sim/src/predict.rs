@@ -145,6 +145,7 @@ mod tests {
             requested,
             procs: 1,
             user: 1,
+            user_ix: 1,
             swf_id: 1,
         }
     }

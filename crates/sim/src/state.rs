@@ -14,7 +14,6 @@
 //! easy to unit-test in isolation.
 
 use crate::cluster::{ClusterSpec, MAX_PARTITIONS};
-use crate::hash::FxHashMap;
 use crate::job::JobId;
 use crate::scheduler::profile::ReleaseSet;
 use crate::time::Time;
@@ -33,7 +32,8 @@ pub struct WaitingJob {
     pub requested: i64,
     /// Submission date (queue priority under FCFS).
     pub submit: Time,
-    /// Submitting user.
+    /// Submitting user as the *interned* dense index (`Job::user_ix`) —
+    /// the key into the per-user running index and history slabs.
     pub user: u32,
 }
 
@@ -52,7 +52,7 @@ pub struct RunningJob {
     /// Requested-time bound on the end (`start + p̃`); the job is killed
     /// at this instant at the latest, so no prediction may exceed it.
     pub deadline: Time,
-    /// Submitting user.
+    /// Submitting user as the *interned* dense index (`Job::user_ix`).
     pub user: u32,
     /// How many corrections (§5.2) this job has received so far.
     pub corrections: u32,
@@ -92,46 +92,74 @@ impl RunningJob {
 /// interchangeable, so removal by value is sound, and the per-user
 /// aggregates are order-free (integer-valued `f64` sums and maxima), so
 /// iteration order never affects a feature value.
+///
+/// The index is a flat slab addressed by the *interned* dense user
+/// index (`Job::user_ix`, assigned at load time) — no hashing per
+/// event, and the active-user count is a counter maintained on the
+/// empty↔non-empty transitions instead of an O(U) scan.
 #[derive(Debug, Clone, Default)]
 pub struct UserRunning {
-    users: FxHashMap<u32, Vec<(u32, Time)>>,
+    /// `users[user_ix]` = that user's running `(procs, start)` pairs.
+    /// Grown lazily to the highest user index seen.
+    users: Vec<Vec<(u32, Time)>>,
+    /// Number of slots that are currently non-empty.
+    active: usize,
 }
 
 impl UserRunning {
     /// The `(procs, start)` pairs of `user`'s running jobs, unordered.
     pub fn of_user(&self, user: u32) -> &[(u32, Time)] {
-        self.users.get(&user).map(Vec::as_slice).unwrap_or(&[])
+        self.users
+            .get(user as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// Number of users with at least one running job.
+    /// Number of users with at least one running job (maintained
+    /// counter, O(1)).
     pub fn active_users(&self) -> usize {
-        self.users.values().filter(|v| !v.is_empty()).count()
+        self.active
     }
 
     fn add(&mut self, user: u32, procs: u32, start: Time) {
-        self.users.entry(user).or_default().push((procs, start));
+        let ix = user as usize;
+        if ix >= self.users.len() {
+            self.users.resize_with(ix + 1, Vec::new);
+        }
+        let jobs = &mut self.users[ix];
+        if jobs.is_empty() {
+            self.active += 1;
+        }
+        jobs.push((procs, start));
     }
 
     fn remove(&mut self, user: u32, procs: u32, start: Time) {
-        let jobs = self.users.get_mut(&user).expect("user has running jobs");
+        let jobs = self
+            .users
+            .get_mut(user as usize)
+            .expect("user has running jobs");
         let index = jobs
             .iter()
             .position(|&(p, s)| p == procs && s == start)
             .expect("running job indexed under its user");
         jobs.swap_remove(index);
+        if jobs.is_empty() {
+            self.active -= 1;
+        }
     }
 
     /// Empties the index, keeping per-user buffer capacities (scratch
     /// reuse across simulations).
     fn clear(&mut self) {
-        for jobs in self.users.values_mut() {
+        for jobs in &mut self.users {
             jobs.clear();
         }
+        self.active = 0;
     }
 
     /// Total capacity (in elements) of the owned buffers.
     fn capacity(&self) -> usize {
-        self.users.capacity() + self.users.values().map(Vec::capacity).sum::<usize>()
+        self.users.capacity() + self.users.iter().map(Vec::capacity).sum::<usize>()
     }
 }
 
@@ -653,6 +681,17 @@ impl SimState {
         expected.sort();
         indexed.sort();
         assert_eq!(indexed, expected, "per-user running index drifted");
+        let brute_force_active = self
+            .running
+            .iter()
+            .map(|r| r.user)
+            .collect::<std::collections::BTreeSet<u32>>()
+            .len();
+        assert_eq!(
+            self.user_running.active_users(),
+            brute_force_active,
+            "active-user counter drifted from the running set"
+        );
     }
 }
 
@@ -691,6 +730,65 @@ impl SystemView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The slab's maintained `active_users` counter and per-user
+        /// slices agree with a brute-force model under arbitrary
+        /// add/remove/clear interleavings over a sparse index space.
+        #[test]
+        fn user_running_counter_agrees_with_brute_force(
+            ops in prop::collection::vec(
+                (0u32..40, 1u32..8, 0i64..1_000, 0u8..8),
+                1..120
+            ),
+        ) {
+            let mut index = UserRunning::default();
+            // Model: user → multiset of (procs, start).
+            let mut model: std::collections::BTreeMap<u32, Vec<(u32, Time)>> =
+                Default::default();
+            for (user, procs, start, action) in ops {
+                // Spread users across a sparse index range: the slab
+                // must handle gaps, not just dense prefixes.
+                let user = user * 7;
+                match action {
+                    0 if !model.is_empty() => {
+                        // Remove one existing entry (deterministically:
+                        // the first user's first entry).
+                        let (&u, entries) = model.iter_mut().next().unwrap();
+                        let (p, s) = entries[0];
+                        entries.swap_remove(0);
+                        if entries.is_empty() {
+                            model.remove(&u);
+                        }
+                        index.remove(u, p, s);
+                    }
+                    1 => {
+                        index.clear();
+                        model.clear();
+                    }
+                    _ => {
+                        index.add(user, procs, Time(start));
+                        model.entry(user).or_default().push((procs, Time(start)));
+                    }
+                }
+                prop_assert_eq!(
+                    index.active_users(),
+                    model.len(),
+                    "maintained counter diverged from brute force"
+                );
+                for (&u, entries) in &model {
+                    let mut got: Vec<(u32, Time)> = index.of_user(u).to_vec();
+                    let mut want = entries.clone();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
 
     fn rj(id: u32, user: u32, procs: u32, start: i64, pend: i64) -> RunningJob {
         RunningJob {

@@ -17,6 +17,7 @@ fn job(id: u32, submit: i64, run: i64, requested: i64, procs: u32) -> Job {
         requested,
         procs,
         user: 1,
+        user_ix: 1,
         swf_id: id as u64,
     }
 }

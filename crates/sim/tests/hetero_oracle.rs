@@ -123,6 +123,7 @@ fn jobs_from(specs: &[(u32, i64, i64)]) -> Vec<Job> {
             requested: requested.max(1),
             procs,
             user: (i % 3) as u32,
+            user_ix: (i % 3) as u32,
             swf_id: i as u64,
         })
         .collect()

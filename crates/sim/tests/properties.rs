@@ -47,6 +47,7 @@ fn arb_workload(n: usize) -> impl Strategy<Value = Vec<Job>> {
                     requested,
                     procs,
                     user,
+                    user_ix: user,
                     swf_id: i as u64 + 1,
                 }
             })

@@ -20,6 +20,7 @@ fn contended_jobs(n: u32) -> Vec<Job> {
             requested: 900,
             procs: 1 + (i % 7),
             user: i % 5,
+            user_ix: i % 5,
             swf_id: i as u64 + 1,
         })
         .collect()

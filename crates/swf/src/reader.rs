@@ -54,40 +54,118 @@ impl std::error::Error for ParseError {}
 
 /// Parses an in-memory SWF document.
 pub fn parse_log(text: &str) -> Result<SwfLog, ParseError> {
-    let mut log = SwfLog::default();
-    for (idx, line) in text.lines().enumerate() {
-        ingest_line(&mut log, idx + 1, line)?;
-    }
-    Ok(log)
+    read_log(std::io::Cursor::new(text))
 }
 
-/// Streams an SWF document from any buffered reader (e.g. a file).
+/// Reads an SWF document from any buffered reader (e.g. a file) into a
+/// fully materialized [`SwfLog`].
 ///
 /// I/O errors are converted into [`ParseError`]s carrying the line number
-/// reached, so callers have a single error channel.
+/// reached, so callers have a single error channel. Callers that do not
+/// need the whole record vector at once should iterate a [`SwfStream`]
+/// instead.
 pub fn read_log<R: BufRead>(reader: R) -> Result<SwfLog, ParseError> {
-    let mut log = SwfLog::default();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| ParseError {
-            line: idx + 1,
-            message: format!("I/O error: {e}"),
-        })?;
-        ingest_line(&mut log, idx + 1, &line)?;
+    let mut stream = SwfStream::new(reader);
+    let mut records = Vec::new();
+    for record in &mut stream {
+        records.push(record?);
     }
-    Ok(log)
+    Ok(SwfLog {
+        header: stream.into_header(),
+        records,
+    })
 }
 
-fn ingest_line(log: &mut SwfLog, lineno: usize, line: &str) -> Result<(), ParseError> {
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return Ok(());
+/// Streaming SWF record source: an iterator of parsed [`SwfRecord`]s that
+/// never materializes the whole log.
+///
+/// Header (`;`-prefixed) and blank lines are consumed transparently and
+/// folded into [`SwfStream::header`]; every other line is parsed as an
+/// 18-field data record and yielded. One line buffer is reused across the
+/// whole file, so streaming a multi-million-job trace allocates O(1)
+/// beyond what the caller keeps. A parse or I/O error ends the stream
+/// (the erroring item is yielded, then the iterator fuses).
+///
+/// Note that SWF permits comment lines after data lines; the header is
+/// only complete once the iterator has been driven to its end.
+#[derive(Debug)]
+pub struct SwfStream<R> {
+    reader: R,
+    header: SwfHeader,
+    line: String,
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: BufRead> SwfStream<R> {
+    /// Starts streaming records from `reader`.
+    pub fn new(reader: R) -> Self {
+        SwfStream {
+            reader,
+            header: SwfHeader::default(),
+            line: String::new(),
+            lineno: 0,
+            done: false,
+        }
     }
-    if let Some(rest) = trimmed.strip_prefix(';') {
-        log.header.ingest_line(rest);
-        return Ok(());
+
+    /// The header metadata accumulated so far (complete at end of input).
+    pub fn header(&self) -> &SwfHeader {
+        &self.header
     }
-    log.records.push(parse_record(lineno, trimmed)?);
-    Ok(())
+
+    /// Consumes the stream, returning the accumulated header.
+    pub fn into_header(self) -> SwfHeader {
+        self.header
+    }
+
+    /// 1-based number of the last line read (0 before the first read).
+    pub fn line_number(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl<R: BufRead> Iterator for SwfStream<R> {
+    type Item = Result<SwfRecord, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ParseError {
+                        line: self.lineno + 1,
+                        message: format!("I/O error: {e}"),
+                    }));
+                }
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix(';') {
+                self.header.ingest_line(rest);
+                continue;
+            }
+            return match parse_record(self.lineno, trimmed) {
+                Ok(record) => Some(Ok(record)),
+                Err(e) => {
+                    self.done = true;
+                    Some(Err(e))
+                }
+            };
+        }
+    }
 }
 
 /// Parses a single 18-field SWF data line.
@@ -233,6 +311,34 @@ mod tests {
         let log = read_log(std::io::Cursor::new(text)).unwrap();
         assert_eq!(log.records.len(), 1);
         assert_eq!(log.header.max_procs, Some(16));
+    }
+
+    #[test]
+    fn stream_yields_records_and_accumulates_header() {
+        let text = format!("; MaxProcs: 64\n\n{LINE}\n; trailing comment\n{LINE}\n");
+        let mut stream = SwfStream::new(std::io::Cursor::new(text));
+        assert_eq!(stream.header().max_procs, None, "header not read yet");
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.run_time, 600);
+        assert_eq!(stream.header().max_procs, Some(64));
+        let second = stream.next().unwrap().unwrap();
+        assert_eq!(second.job_id, 3);
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none(), "stream is fused");
+        assert_eq!(stream.line_number(), 5);
+    }
+
+    #[test]
+    fn stream_fuses_after_a_parse_error() {
+        let text = format!("{LINE}\nbad line\n{LINE}\n");
+        let mut stream = SwfStream::new(std::io::Cursor::new(text));
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(
+            stream.next().is_none(),
+            "no records are yielded past an error"
+        );
     }
 
     #[test]

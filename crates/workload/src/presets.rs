@@ -99,6 +99,23 @@ pub fn metacentrum() -> WorkloadSpec {
     s
 }
 
+/// `millions-of-users`: the cloud-scale stressor, not a Table 4 log. A
+/// million jobs from a 400 000-user population (heavy-tail activity,
+/// short bursty sessions) on a 65 536-processor machine — the shape of
+/// the Alibaba/Google cluster traces, scaled to what the offline build
+/// environment can generate. Exercises the streaming ingestion path and
+/// the dense-interned per-user slabs at ≥ 10^5 *active* users; not part
+/// of [`all_six`], so no paper experiment is affected.
+pub fn millions_of_users() -> WorkloadSpec {
+    let mut s = base("millions-of-users", 65_536, 1_000_000, 1, 0.70, 400_000);
+    s.session_len_mean = 2.0; // short sessions → many distinct submitters
+    s.session_repeat_prob = 0.8;
+    s.procs_mean_log2 = 3.0;
+    s.procs_sigma_log2 = 1.8;
+    s.classes_per_user = 2;
+    s
+}
+
 /// All six Table 4 presets in the paper's order.
 pub fn all_six() -> Vec<WorkloadSpec> {
     vec![
@@ -124,11 +141,43 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
         .into_iter()
         .find(|s| s.name.to_ascii_lowercase() == lower)
         .or_else(|| (lower == "toy").then(WorkloadSpec::toy))
+        .or_else(|| (lower == "millions-of-users").then(millions_of_users))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn millions_of_users_is_cloud_scale() {
+        let s = millions_of_users();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.jobs, 1_000_000);
+        assert_eq!(s.users, 400_000);
+        assert_eq!(by_name("Millions-Of-Users"), Some(s));
+        // A stressor, not a Table 4 log.
+        assert!(all_six().iter().all(|s| s.name != "millions-of-users"));
+    }
+
+    #[test]
+    fn millions_of_users_generates_many_distinct_users_when_scaled() {
+        // The full preset is exercised in release by the ingest bench
+        // and CI smoke; here a 1% scale checks the population shape:
+        // nearly every session comes from a distinct user.
+        let w = crate::generate(&millions_of_users().scaled(0.01), 1);
+        assert_eq!(w.jobs.len(), 10_000);
+        assert!(
+            w.stats.active_users > 2_000,
+            "only {} distinct users — population not heavy enough",
+            w.stats.active_users
+        );
+        assert_eq!(w.stats.active_users as u32, {
+            let mut users: Vec<u32> = w.jobs.iter().map(|j| j.user_ix).collect();
+            users.sort_unstable();
+            users.dedup();
+            users.len() as u32
+        });
+    }
 
     #[test]
     fn table4_shapes() {

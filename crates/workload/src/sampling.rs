@@ -75,6 +75,48 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     weights.len() - 1
 }
 
+/// Precomputed weighted sampler: prefix sums + binary search, O(log n)
+/// per draw against [`weighted_index`]'s O(n) subtract-chain.
+///
+/// Draws consume exactly one `rng.gen::<f64>()`, like `weighted_index`,
+/// so the two are interchangeable without shifting the RNG stream — but
+/// the float arithmetic differs (a prefix-sum comparison instead of a
+/// running subtraction), so on rare boundary draws the *chosen index*
+/// can differ. The generator therefore only switches to this sampler
+/// above a population cutover no pinned preset reaches.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    /// Inclusive prefix sums of the weights.
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeSampler {
+    /// Builds the prefix-sum table (weights must be non-empty with a
+    /// positive sum, as for [`weighted_index`]).
+    pub fn new(weights: &[f64]) -> Self {
+        debug_assert!(!weights.is_empty());
+        let mut running = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|&w| {
+                running += w;
+                running
+            })
+            .collect::<Vec<f64>>();
+        debug_assert!(running > 0.0, "weights must have positive sum");
+        Self { cumulative }
+    }
+
+    /// Samples an index proportionally to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.gen::<f64>() * total;
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
 /// A power-of-two-biased processor count in `[1, max]`: HPC logs show
 /// strong modes at 1 and powers of two (with a tail of odd sizes).
 pub fn proc_request<R: Rng + ?Sized>(rng: &mut R, max: u32, mean_log2: f64, sd_log2: f64) -> u32 {
@@ -187,6 +229,35 @@ mod tests {
         assert_eq!(counts[1], 0);
         let ratio = counts[2] as f64 / counts[0] as f64;
         assert!((ratio / 3.0 - 1.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_sampler_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let sampler = CumulativeSampler::new(&weights);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight index must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio / 3.0 - 1.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_sampler_consumes_one_draw_like_weighted_index() {
+        // Interchangeability contract: one f64 per draw, so swapping
+        // samplers never shifts the RNG stream for later phases.
+        let weights: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let sampler = CumulativeSampler::new(&weights);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            sampler.sample(&mut a);
+            weighted_index(&mut b, &weights);
+        }
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "RNG streams diverged");
     }
 
     #[test]

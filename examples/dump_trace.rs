@@ -1,0 +1,50 @@
+//! Write a synthetic workload preset to disk as an SWF trace.
+//!
+//! Pairs with the streaming loader: generate any registered preset
+//! (Table 4 logs, `toy`, the cloud-scale `millions-of-users` stressor)
+//! at a chosen scale, serialize it as Standard Workload Format, and
+//! feed the file back through `repro scenario --swf` or
+//! [`predictsim::experiments::SwfSource`]:
+//!
+//! ```text
+//! cargo run --release --example dump_trace -- millions-of-users 1.0 /tmp/million.swf
+//! ./target/release/repro scenario --swf /tmp/million.swf --timing
+//! ```
+//!
+//! CI's `ingest-smoke` job uses exactly this round trip to pin that a
+//! ~1M-job trace stream-loads without intermediate record vectors.
+
+use predictsim::swf::write_log;
+use predictsim::workload::{by_name, generate};
+
+fn main() {
+    const USAGE: &str = "usage: dump_trace <preset> <scale> <out.swf> [seed]";
+    let mut args = std::env::args().skip(1);
+    let name = args.next().expect(USAGE);
+    let scale: f64 = args
+        .next()
+        .expect(USAGE)
+        .parse()
+        .expect("scale must be a number");
+    let out = std::path::PathBuf::from(args.next().expect(USAGE));
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(20150101);
+
+    let spec = by_name(&name).unwrap_or_else(|| panic!("unknown preset {name:?}"));
+    let spec = if (scale - 1.0).abs() < f64::EPSILON {
+        spec
+    } else {
+        spec.scaled(scale)
+    };
+    let workload = generate(&spec, seed);
+    std::fs::write(&out, write_log(&workload.to_swf())).expect("write SWF");
+    println!(
+        "wrote {} jobs ({} active users, machine {}) to {}",
+        workload.jobs.len(),
+        workload.stats.active_users,
+        workload.machine_size,
+        out.display()
+    );
+}

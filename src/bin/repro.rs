@@ -550,6 +550,24 @@ fn run_scenario(opts: &Options, timer: &mut PhaseTimer) {
             report.repaired_inversions,
         );
     }
+    // Ingestion accounting: the streaming loader must report zero
+    // intermediate record vectors (CI pins this through --timing).
+    let record_vecs = usize::from(loaded.stats.buffered_records > 0);
+    eprintln!(
+        "  ingest: {} · record_vecs={record_vecs} ({} buffered records) · {} users",
+        if loaded.stats.streamed {
+            "streamed"
+        } else {
+            "buffered"
+        },
+        loaded.stats.buffered_records,
+        loaded.jobs.user_count(),
+    );
+    timer.note(format!(
+        "scenario ingest: {} jobs · record_vecs={record_vecs} · {} interned users",
+        loaded.jobs.len(),
+        loaded.jobs.user_count(),
+    ));
     let config = match scenario.cluster() {
         Some(cluster) => {
             eprintln!("  cluster: {cluster} ({} procs)", cluster.total_procs());
