@@ -59,6 +59,26 @@
 //! working set. The clock is a logical counter (no wall time), so the
 //! index is deterministic for a given access sequence.
 //!
+//! # Fault tolerance
+//!
+//! Every disk operation sits behind a named fault-injection site
+//! (`cache.read` / `cache.write` / `cache.rename` / `cache.remove` /
+//! `index.flush` — see `predictsim_faultline`) and a bounded
+//! retry-with-backoff that absorbs transient
+//! [`std::io::ErrorKind::Interrupted`] errors
+//! ([`CacheStats::disk_retries`]). After
+//! [`SimCache::HARD_FAILURE_LIMIT`] *consecutive* hard failures the
+//! layer degrades to memory-only — warned once, campaign unaffected
+//! ([`CacheStats::degraded`]); the next healthy
+//! [`SimCache::set_persist_dir`] restores persistence. Cell and index
+//! writes are crash-consistent (temp file → fsync → atomic rename →
+//! best-effort directory sync), so a torn write never shadows good
+//! data. The miss path catches panics out of the simulation
+//! (`catch_unwind` + bounded retry, [`CacheStats::panicked_cells`]),
+//! surfacing a genuinely poisoned cell as
+//! [`ScenarioError::CellPanicked`] after the lease has withdrawn its
+//! marker and released coalesced waiters.
+//!
 //! # Memory discipline
 //!
 //! Aggregates are tiny and kept for every cell; prediction vectors are
@@ -70,8 +90,9 @@
 //! inserts are budget-neutral.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use predictsim_sim::{ClusterSpec, NullObserver, SimObserver};
@@ -166,6 +187,17 @@ pub struct CacheStats {
     pub disk_rejects: u64,
     /// Persistent cells evicted by the disk-layer LRU budget.
     pub disk_evictions: u64,
+    /// Transient disk-IO errors absorbed by the bounded retry (each
+    /// retry attempt counts once).
+    pub disk_retries: u64,
+    /// Simulation attempts that panicked and were caught — the cell
+    /// either succeeded on a retry or surfaced
+    /// [`ScenarioError::CellPanicked`].
+    pub panicked_cells: u64,
+    /// True once the disk layer degraded to memory-only after
+    /// [`SimCache::HARD_FAILURE_LIMIT`] consecutive hard IO failures
+    /// (cleared by the next [`SimCache::set_persist_dir`]).
+    pub degraded: bool,
 }
 
 impl CacheStats {
@@ -188,7 +220,31 @@ impl CacheStats {
             coalesced: self.coalesced - earlier.coalesced,
             disk_rejects: self.disk_rejects - earlier.disk_rejects,
             disk_evictions: self.disk_evictions - earlier.disk_evictions,
+            disk_retries: self.disk_retries - earlier.disk_retries,
+            panicked_cells: self.panicked_cells - earlier.panicked_cells,
+            // A state flag, not a counter: report the current state.
+            degraded: self.degraded,
         }
+    }
+
+    /// The canonical one-line rendering used by `repro` and pinned by a
+    /// format test: new fields are **append-only** (tooling anchors on
+    /// the `simulated=` prefix and on ` field=value ` substrings, so
+    /// existing fields must never move or change spelling).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "cache summary: simulated={} memory_hits={} disk_hits={} coalesced={} \
+             disk_rejects={} evicted={} disk_retries={} degraded={} panicked_cells={}",
+            self.simulated,
+            self.memory_hits,
+            self.disk_hits,
+            self.coalesced,
+            self.disk_rejects,
+            self.disk_evictions,
+            self.disk_retries,
+            u8::from(self.degraded),
+            self.panicked_cells,
+        )
     }
 }
 
@@ -355,6 +411,15 @@ pub struct SimCache {
     coalesced: AtomicU64,
     disk_rejects: AtomicU64,
     disk_evictions: AtomicU64,
+    disk_retries: AtomicU64,
+    panicked_cells: AtomicU64,
+    /// Consecutive hard (non-retryable, non-NotFound) disk failures; a
+    /// healthy disk operation resets it. At
+    /// [`SimCache::HARD_FAILURE_LIMIT`] the layer degrades.
+    hard_fail_streak: AtomicU64,
+    /// Disk layer degraded to memory-only (warned once; cleared by the
+    /// next [`SimCache::set_persist_dir`]).
+    degraded: AtomicBool,
     /// Per-process sequence for unique temp-file names (two threads —
     /// or two processes, via the pid component — sharing one cache
     /// directory must never interleave writes into one temp file).
@@ -362,6 +427,19 @@ pub struct SimCache {
 }
 
 static GLOBAL: OnceLock<SimCache> = OnceLock::new();
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers everything this codebase — and
+/// the fault injector — can throw).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// What a shard lookup produced: a finished cell, a flight to wait on,
 /// or leadership of the miss (the `Lease` below).
@@ -438,6 +516,22 @@ impl SimCache {
     /// ceiling against unbounded growth of a long-lived `--cache DIR`.
     pub const DISK_BUDGET: u64 = 8 * 1024 * 1024 * 1024;
 
+    /// Bounded retries absorbed per disk operation before its error is
+    /// surfaced (transient [`std::io::ErrorKind::Interrupted`] only;
+    /// each absorbed retry counts in [`CacheStats::disk_retries`]).
+    pub const IO_RETRIES: u32 = 3;
+
+    /// Consecutive hard disk failures after which the persistent layer
+    /// degrades to memory-only for the rest of the attach (warned once;
+    /// the campaign continues, and the next healthy
+    /// [`SimCache::set_persist_dir`] restores persistence and with it
+    /// resumability).
+    pub const HARD_FAILURE_LIMIT: u64 = 5;
+
+    /// Simulation attempts per cell before a caught panic stops being
+    /// retried and surfaces as [`ScenarioError::CellPanicked`].
+    pub const PANIC_RETRIES: u32 = 3;
+
     /// An independent cache instance (tests, benches, embedding several
     /// cache domains). Experiments route through [`SimCache::global`].
     pub fn new() -> Self {
@@ -452,6 +546,10 @@ impl SimCache {
             coalesced: AtomicU64::new(0),
             disk_rejects: AtomicU64::new(0),
             disk_evictions: AtomicU64::new(0),
+            disk_retries: AtomicU64::new(0),
+            panicked_cells: AtomicU64::new(0),
+            hard_fail_streak: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
             tmp_seq: AtomicU64::new(0),
         }
     }
@@ -476,6 +574,11 @@ impl SimCache {
         persist.total_bytes = 0;
         persist.run_floor = 0;
         persist.dir = dir;
+        // A fresh attach is a declaration that the disk is healthy
+        // again: clear any degradation so resumability survives the
+        // next run even if this one limped home memory-only.
+        self.hard_fail_streak.store(0, Ordering::Relaxed);
+        self.degraded.store(false, Ordering::Relaxed);
         let Some(dir) = persist.dir.clone() else {
             return;
         };
@@ -535,6 +638,11 @@ impl SimCache {
     /// file for the *next* attach to sweep. No-op without a persistent
     /// directory.
     pub fn flush_persistent(&self) {
+        if self.disk_degraded() {
+            // The layer already gave up on this disk; the previous
+            // index.json (if any) stays intact for the next attach.
+            return;
+        }
         let (dir, index) = {
             let persist = self.persist.lock().expect("cache persist lock");
             let Some(dir) = persist.dir.clone() else {
@@ -604,6 +712,104 @@ impl SimCache {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             disk_rejects: self.disk_rejects.load(Ordering::Relaxed),
             disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            disk_retries: self.disk_retries.load(Ordering::Relaxed),
+            panicked_cells: self.panicked_cells.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one disk operation with bounded retry of transient
+    /// ([`std::io::ErrorKind::Interrupted`]) errors, consulting the
+    /// fault-injection `site` ahead of each real attempt. Absorbed
+    /// retries count in [`CacheStats::disk_retries`]; the final error —
+    /// transient or not — is returned for the caller to classify.
+    fn with_disk_retry<T>(
+        &self,
+        site: &str,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut attempt = 0;
+        loop {
+            let outcome = match predictsim_faultline::io_fault(site) {
+                Some(injected) => Err(injected),
+                None => op(),
+            };
+            match outcome {
+                Err(err)
+                    if err.kind() == std::io::ErrorKind::Interrupted
+                        && attempt < Self::IO_RETRIES =>
+                {
+                    attempt += 1;
+                    self.disk_retries.fetch_add(1, Ordering::Relaxed);
+                    // A whisper of backoff: enough to step over a
+                    // transient hiccup, far too small to show up in
+                    // campaign wall-clock.
+                    std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// A disk operation completed: the failure streak resets.
+    fn disk_ok(&self) {
+        self.hard_fail_streak.store(0, Ordering::Relaxed);
+    }
+
+    /// A disk operation failed for keeps (retries exhausted or a hard
+    /// error). At [`SimCache::HARD_FAILURE_LIMIT`] consecutive failures
+    /// the persistent layer degrades to memory-only — warned exactly
+    /// once — so a campaign on a dying disk finishes instead of
+    /// grinding through error paths on every cell.
+    fn disk_hard_failure(&self, what: &str, err: &std::io::Error) {
+        let streak = self.hard_fail_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= Self::HARD_FAILURE_LIMIT && !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: disk cache degraded to memory-only after {streak} consecutive \
+                 hard failures (last: {what}: {err}); the run continues uncached on disk — \
+                 re-attach a healthy --cache dir to restore persistence"
+            );
+        }
+    }
+
+    /// True once the disk layer has been disabled for this attach.
+    fn disk_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Runs the cell simulation with panic isolation: a caught panic
+    /// (a poisoned cell) is retried up to [`SimCache::PANIC_RETRIES`]
+    /// attempts — safe because the engine re-initializes every scratch
+    /// buffer at run start — before surfacing as
+    /// [`ScenarioError::CellPanicked`]. Each caught panic counts in
+    /// [`CacheStats::panicked_cells`].
+    fn simulate_isolated(
+        &self,
+        triple: &HeuristicTriple,
+        arena: &JobArena,
+        cluster: ClusterSpec,
+        observer: &mut dyn SimObserver,
+    ) -> Result<predictsim_sim::SimResult, ScenarioError> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::scenario::run_triple_with_scratch(
+                    triple,
+                    arena,
+                    predictsim_sim::SimConfig { cluster },
+                    observer,
+                )
+            }));
+            match outcome {
+                Ok(result) => return result.map_err(ScenarioError::from),
+                Err(payload) => {
+                    self.panicked_cells.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= Self::PANIC_RETRIES {
+                        return Err(ScenarioError::CellPanicked(panic_message(&payload)));
+                    }
+                }
+            }
         }
     }
 
@@ -738,13 +944,12 @@ impl SimCache {
                     }
                     self.simulated.fetch_add(1, Ordering::Relaxed);
                     // On error the lease drop withdraws the marker and
-                    // releases the waiters before `?` propagates.
-                    let sim = crate::scenario::run_triple_with_scratch(
-                        triple,
-                        arena,
-                        predictsim_sim::SimConfig { cluster },
-                        observer,
-                    )?;
+                    // releases the waiters before `?` propagates. A
+                    // panicking cell is caught and retried inside
+                    // `simulate_isolated`; `simulated` still counts the
+                    // miss once — it is a true-work count of cells, not
+                    // of attempts.
+                    let sim = self.simulate_isolated(triple, arena, cluster, observer)?;
                     let result = TripleResult::from_sim(triple, &sim);
                     let predictions: Vec<i64> =
                         sim.outcomes.iter().map(|o| o.initial_prediction).collect();
@@ -861,27 +1066,73 @@ impl SimCache {
         PathBuf::from(name)
     }
 
-    /// Best-effort atomic write: serialize to a unique temp file, then
-    /// rename into place.
-    fn write_atomic(&self, path: &Path, contents: &str) -> bool {
+    /// Crash-consistent atomic write: serialize to a unique temp file,
+    /// sync it to the platter, rename into place, then best-effort sync
+    /// the directory so the rename itself survives a crash. A failure
+    /// at any step removes the temp file and leaves whatever `path`
+    /// held before — a torn write can never shadow good data. Transient
+    /// errors are absorbed by the bounded retry at both fault sites.
+    fn write_atomic(
+        &self,
+        path: &Path,
+        contents: &str,
+        write_site: &str,
+        rename_site: &str,
+    ) -> std::io::Result<()> {
         let tmp = self.unique_tmp(path);
-        if std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, path).is_ok() {
-            true
-        } else {
+        let written = self.with_disk_retry(write_site, || {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(contents.as_bytes())?;
+            // The data must be durable *before* the rename publishes
+            // the name, or a crash can expose an empty/torn file under
+            // the final path.
+            file.sync_all()
+        });
+        if let Err(err) = written {
             let _ = std::fs::remove_file(&tmp);
-            false
+            return Err(err);
         }
+        if let Err(err) = self.with_disk_retry(rename_site, || std::fs::rename(&tmp, path)) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(err);
+        }
+        if let Some(parent) = path.parent() {
+            // Not every filesystem lets a directory be opened/synced;
+            // the rename is already atomic, this only tightens crash
+            // durability where supported.
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Persists the LRU index (call with fresh index state; takes the
-    /// persist lock only long enough to snapshot it).
+    /// persist lock only long enough to snapshot it). A failed flush
+    /// leaves the previous `index.json` intact — the index is
+    /// bookkeeping and the next attach reconciles it with the
+    /// directory, so losing one flush costs recency, never cells.
     fn save_index(&self, dir: &Path, index: &DiskIndex) {
+        if self.disk_degraded() {
+            return;
+        }
         if let Ok(json) = serde_json::to_string(index) {
-            self.write_atomic(&dir.join(Self::INDEX_NAME), &json);
+            match self.write_atomic(
+                &dir.join(Self::INDEX_NAME),
+                &json,
+                "index.flush",
+                "index.flush",
+            ) {
+                Ok(()) => self.disk_ok(),
+                Err(err) => self.disk_hard_failure("index flush", &err),
+            }
         }
     }
 
     fn load_disk(&self, key: &CellKey) -> Option<CachedCell> {
+        if self.disk_degraded() {
+            return None;
+        }
         let dir = self
             .persist
             .lock()
@@ -890,13 +1141,30 @@ impl SimCache {
             .clone()?;
         let file_name = key.file_name();
         let path = dir.join(&file_name);
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            // No file (or unreadable): a plain miss. Drop any stale
-            // index entry so the LRU accounting stays honest after an
-            // external deletion.
-            let mut persist = self.persist.lock().expect("cache persist lock");
-            persist.forget(&file_name);
-            return None;
+        let text = match self.with_disk_retry("cache.read", || std::fs::read_to_string(&path)) {
+            Ok(text) => {
+                self.disk_ok();
+                text
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                // No file: a plain miss. Deliberately *not* a streak
+                // reset — a NotFound probe completes without moving any
+                // data, so it proves nothing about a disk whose writes
+                // are failing (read-only mounts and full disks answer
+                // probes just fine). Drop any stale index entry so the
+                // LRU accounting stays honest after an external
+                // deletion.
+                let mut persist = self.persist.lock().expect("cache persist lock");
+                persist.forget(&file_name);
+                return None;
+            }
+            Err(err) => {
+                // Unreadable beyond retry: miss (the cell re-simulates)
+                // and one step down the degradation ladder. The index
+                // entry stays — the file is probably still there.
+                self.disk_hard_failure("cell read", &err);
+                return None;
+            }
         };
         // Verify both the encoding and the full key: a truncated write,
         // a file-name hash collision or a stale entry must never serve
@@ -909,7 +1177,9 @@ impl SimCache {
         });
         let Some(disk) = verified else {
             self.disk_rejects.fetch_add(1, Ordering::Relaxed);
-            let _ = std::fs::remove_file(&path);
+            // Best-effort delete: if it fails the file is simply
+            // rejected again next run.
+            let _ = self.with_disk_retry("cache.remove", || std::fs::remove_file(&path));
             let mut persist = self.persist.lock().expect("cache persist lock");
             persist.forget(&file_name);
             let index = persist.index.clone();
@@ -926,6 +1196,9 @@ impl SimCache {
     }
 
     fn store_disk(&self, key: &CellKey, cell: &CachedCell) {
+        if self.disk_degraded() {
+            return;
+        }
         let Some(dir) = self.persist.lock().expect("cache persist lock").dir.clone() else {
             return;
         };
@@ -947,8 +1220,12 @@ impl SimCache {
         let Ok(json) = serde_json::to_string(&disk) else {
             return;
         };
-        if !self.write_atomic(&path, &json) {
-            return;
+        match self.write_atomic(&path, &json, "cache.write", "cache.rename") {
+            Ok(()) => self.disk_ok(),
+            Err(err) => {
+                self.disk_hard_failure("cell write", &err);
+                return;
+            }
         }
         // Account the write in the LRU index, then evict past-budget
         // cells — least-recently-used first, never cells this run
@@ -975,7 +1252,7 @@ impl SimCache {
         let index = persist.index.clone();
         drop(persist);
         for path in &evicted {
-            let _ = std::fs::remove_file(path);
+            let _ = self.with_disk_retry("cache.remove", || std::fs::remove_file(path));
         }
         self.disk_evictions
             .fetch_add(evicted.len() as u64, Ordering::Relaxed);
@@ -1007,6 +1284,34 @@ mod tests {
             std::env::temp_dir().join(format!("predictsim-cache-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn summary_line_format_is_append_only() {
+        // The CI smokes anchor on the `simulated=` prefix and on
+        // ` field=value ` substrings: existing fields must never move,
+        // new fields only ever append. This pin is the contract.
+        let stats = CacheStats {
+            simulated: 1,
+            memory_hits: 2,
+            disk_hits: 3,
+            coalesced: 4,
+            disk_rejects: 5,
+            disk_evictions: 6,
+            disk_retries: 7,
+            panicked_cells: 8,
+            degraded: true,
+        };
+        assert_eq!(
+            stats.summary_line(),
+            "cache summary: simulated=1 memory_hits=2 disk_hits=3 coalesced=4 \
+             disk_rejects=5 evicted=6 disk_retries=7 degraded=1 panicked_cells=8"
+        );
+        let quiet = CacheStats::default().summary_line();
+        assert!(
+            quiet.ends_with("disk_retries=0 degraded=0 panicked_cells=0"),
+            "{quiet}"
+        );
     }
 
     #[test]

@@ -55,11 +55,16 @@ pub mod trace;
 pub mod triple;
 
 pub use cache::{CacheStats, CachedCell, CellSource, SimCache};
+
 pub use campaign::{
     run_campaign, run_campaign_cluster, run_campaign_loaded, CampaignResult, TripleResult,
 };
 pub use context::{ExperimentSetup, DEFAULT_SEED, QUICK_SCALE};
 pub use cv::{cross_validate, CvOutcome, CvRow};
+/// The deterministic fault-injection layer (`REPRO_FAULTS`, chaos
+/// tests) — re-exported so experiment consumers and integration tests
+/// reach it without a separate dependency edge.
+pub use predictsim_faultline as faultline;
 pub use registry::{
     registered_corrections, registered_predictors, registered_schedulers, render_registry,
     PolicyEntry, RegistryError,

@@ -141,6 +141,12 @@ pub enum ScenarioError {
     MissingWorkload,
     /// The simulation itself rejected the workload or a policy misbehaved.
     Sim(SimError),
+    /// A worker panicked while simulating the cell and every bounded
+    /// retry panicked too (a genuinely poisoned cell). The payload is
+    /// the final panic message. Isolation — not an engine error: the
+    /// panic was caught, the cache lease withdrawn, and coalesced
+    /// waiters released before this surfaced.
+    CellPanicked(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -155,6 +161,9 @@ impl std::fmt::Display for ScenarioError {
                 )
             }
             ScenarioError::Sim(e) => write!(f, "{e}"),
+            ScenarioError::CellPanicked(msg) => {
+                write!(f, "cell simulation panicked (all retries): {msg}")
+            }
         }
     }
 }

@@ -600,7 +600,12 @@ impl WorkloadSource for SwfSource {
                     path: path.clone(),
                     message: e.to_string(),
                 })?;
-                self.load_streaming(SwfStream::new(std::io::BufReader::new(file)))
+                // `swf.read` fault site: transient fires vanish inside
+                // `BufReader` (which retries `Interrupted`), hard fires
+                // truncate the stream mid-record — both exercised by
+                // the chaos suite. Passthrough when no plan is active.
+                let faulty = predictsim_faultline::FaultyRead::new(file, "swf.read");
+                self.load_streaming(SwfStream::new(std::io::BufReader::new(faulty)))
             }
             SwfInput::Text { text, .. } => {
                 self.load_streaming(SwfStream::new(std::io::Cursor::new(text.as_bytes())))

@@ -85,7 +85,17 @@ impl CsvInput {
             loop {
                 line.clear();
                 lineno += 1;
-                match reader.read_line(&mut line) {
+                let read = loop {
+                    match reader.read_line(&mut line) {
+                        // Retry transient interrupts without clearing —
+                        // the reader may already have appended part of
+                        // the line (see the SWF stream for the same
+                        // hardening).
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        other => break other,
+                    }
+                };
+                match read {
                     Ok(0) => return Ok(()),
                     Ok(_) => visit(lineno, line.trim_end_matches(['\n', '\r']))?,
                     Err(e) => {
@@ -103,7 +113,10 @@ impl CsvInput {
                     path: path.clone(),
                     message: e.to_string(),
                 })?;
-                drive(std::io::BufReader::new(file), &mut visit)
+                // `trace.read` fault site — same contract as the SWF
+                // path's `swf.read`.
+                let faulty = predictsim_faultline::FaultyRead::new(file, "trace.read");
+                drive(std::io::BufReader::new(faulty), &mut visit)
             }
             CsvInput::Text { text, .. } => drive(std::io::Cursor::new(text.as_bytes()), &mut visit),
         }

@@ -54,6 +54,11 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
+
+/// The deterministic fault-injection layer (`REPRO_FAULTS`, chaos
+/// tests) — re-exported so daemon embedders and integration tests
+/// reach it without a separate dependency edge.
+pub use predictsim_faultline as faultline;
 pub use protocol::{
     ErrorCode, Frame, Line, LineReader, ProtoError, Request, Submission, WorkloadRequest,
     DEFAULT_MAX_LINE_BYTES, DEFAULT_METRICS_EVERY,

@@ -571,6 +571,13 @@ impl<R: BufRead> LineReader<R> {
     /// errors (including timeouts — the partial line survives a retry).
     pub fn next_line(&mut self) -> std::io::Result<Option<Line>> {
         loop {
+            // Fault site for the socket's read half: a transient fire
+            // surfaces as `Interrupted` (the accumulated partial line
+            // survives for the caller's retry), a hard fire as a
+            // connection-fatal error.
+            if let Some(injected) = predictsim_faultline::io_fault("serve.read") {
+                return Err(injected);
+            }
             let available = self.inner.fill_buf()?;
             if available.is_empty() {
                 // EOF; a trailing partial line is dropped (the peer

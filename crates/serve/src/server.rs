@@ -110,11 +110,29 @@ impl ConnWriter {
         let Ok(line) = serde_json::to_string(frame) else {
             return false;
         };
-        let mut stream = self.stream.lock().expect("conn writer lock");
-        let ok = stream
-            .write_all(line.as_bytes())
-            .and_then(|()| stream.write_all(b"\n"))
-            .is_ok();
+        // A thread that panicked mid-write poisons the lock, and the
+        // stream position is then unknowable — a torn frame may already
+        // be on the wire. Recover the guard (the data is fine, only the
+        // panicking writer was interrupted) but mark the connection
+        // dead instead of interleaving more bytes into a corrupt frame
+        // stream; its in-flight jobs cancel through the alive flag.
+        let mut stream = match self.stream.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.alive.store(false, Ordering::Relaxed);
+                drop(poisoned.into_inner());
+                return false;
+            }
+        };
+        let ok = match predictsim_faultline::io_fault("serve.write") {
+            // An injected socket fault of either kind models the frame
+            // never reaching the peer: the connection is done.
+            Some(_) => false,
+            None => stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .is_ok(),
+        };
         if !ok {
             self.alive.store(false, Ordering::Relaxed);
         }
@@ -288,6 +306,10 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
                     return;
                 }
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                // A transient read hiccup (signal, injected fault): the
+                // partial line survives inside the reader; just retry.
+            }
             Err(_) => return,
         }
     }
@@ -358,6 +380,9 @@ fn stats_frame(shared: &Arc<Shared>) -> Value {
         ("coalesced".into(), Value::UInt(stats.coalesced)),
         ("disk_rejects".into(), Value::UInt(stats.disk_rejects)),
         ("evicted".into(), Value::UInt(stats.disk_evictions)),
+        ("disk_retries".into(), Value::UInt(stats.disk_retries)),
+        ("degraded".into(), Value::UInt(u64::from(stats.degraded))),
+        ("panicked_cells".into(), Value::UInt(stats.panicked_cells)),
         ("queued".into(), Value::UInt(queued as u64)),
         (
             "active".into(),
@@ -484,8 +509,21 @@ fn worker_loop(shared: Arc<Shared>) {
             continue;
         }
         shared.active.fetch_add(1, Ordering::Relaxed);
-        run_job(&pending, &shared);
+        // Panic isolation: the cache already catches panics inside the
+        // cell simulation, so this guards the rest of the job path
+        // (workload build, frame serialization, observer sinks). A
+        // poisoned job becomes a typed `internal` frame; the worker —
+        // and the daemon — keep serving.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&pending, &shared)));
         shared.active.fetch_sub(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            let err = ProtoError::new(
+                ErrorCode::Internal,
+                "internal error: worker panicked while running the job",
+            );
+            pending.conn.send(&error_frame(Some(pending.id), &err));
+        }
     }
 }
 
@@ -583,4 +621,44 @@ pub fn batch_result_json(submission: &Submission) -> Result<String, ProtoError> 
         .map_err(|e| ProtoError::new(ErrorCode::Internal, e.to_string()))?;
     let summary = predictsim_experiments::TripleResult::from_sim(&triple, &result);
     serde_json::to_string_pretty(&summary).map_err(|e| ProtoError::new(ErrorCode::Internal, e.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("local addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn conn_writer_survives_a_poisoned_stream_lock() {
+        let (stream, _peer) = socket_pair();
+        let writer = Arc::new(ConnWriter::new(stream));
+        let poisoner = writer.clone();
+        let outcome = std::thread::spawn(move || {
+            let _guard = poisoner.stream.lock().expect("first lock is clean");
+            panic!("writer thread dies mid-frame");
+        })
+        .join();
+        assert!(outcome.is_err(), "the writer thread must have panicked");
+        assert!(
+            writer.alive(),
+            "the panic alone does not kill the connection"
+        );
+        // The next send must recover the poisoned guard instead of
+        // panicking, report failure, and mark the connection dead so
+        // its in-flight jobs cancel.
+        let frame = Value::Map(vec![("type".into(), Value::Str("pong".into()))]);
+        assert!(
+            !writer.send(&frame),
+            "send on a poisoned writer reports failure"
+        );
+        assert!(!writer.alive(), "the connection is marked dead");
+        assert!(!writer.send(&frame), "and stays dead");
+    }
 }

@@ -203,6 +203,12 @@ pub fn simulate_in(
     correction: Option<&dyn CorrectionPolicy>,
     observer: &mut dyn SimObserver,
 ) -> Result<SimResult, SimError> {
+    // Poison-cell injection point (`REPRO_FAULTS=cell.panic:...`): a
+    // fire panics *before* the engine touches the arena, so the caught
+    // panic leaves nothing torn and the retrying caller (the cache's
+    // isolation layer) re-enters a cleanly resettable arena. With no
+    // plan installed this is one relaxed atomic load.
+    predictsim_faultline::maybe_panic("cell.panic");
     let capacity_before = arena.capacity_signature();
     let result = Engine::new(arena, jobs, config, predictor.wants_user_running_index())?
         .run(scheduler, predictor, correction, observer);

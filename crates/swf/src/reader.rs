@@ -134,7 +134,19 @@ impl<R: BufRead> Iterator for SwfStream<R> {
         }
         loop {
             self.line.clear();
-            match self.reader.read_line(&mut self.line) {
+            let read = loop {
+                match self.reader.read_line(&mut self.line) {
+                    // Transient interrupts (signals, injected faults)
+                    // are retried, not fused: `BufReader` absorbs them
+                    // itself, but an exotic `BufRead` may surface them,
+                    // and a multi-GB ingest must not die to a hiccup.
+                    // No clear before the retry — the implementation
+                    // may already have appended part of the line.
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    other => break other,
+                }
+            };
+            match read {
                 Ok(0) => {
                     self.done = true;
                     return None;
@@ -251,6 +263,60 @@ mod tests {
         assert_eq!(r.requested_time, 900);
         assert_eq!(r.user_id, 4);
         assert_eq!(r.think_time, -1);
+    }
+
+    /// A `BufRead` that surfaces `Interrupted` on every other
+    /// `read_line` call — the shape of a signal-interrupted read that
+    /// `BufReader` would normally absorb but a custom source may leak.
+    struct InterruptingReader<'a> {
+        inner: std::io::BufReader<&'a [u8]>,
+        calls: usize,
+    }
+
+    impl std::io::Read for InterruptingReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::io::Read::read(&mut self.inner, buf)
+        }
+    }
+
+    impl std::io::BufRead for InterruptingReader<'_> {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            self.inner.fill_buf()
+        }
+        fn consume(&mut self, amt: usize) {
+            self.inner.consume(amt)
+        }
+        fn read_line(&mut self, line: &mut String) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "spurious interrupt",
+                ));
+            }
+            self.inner.read_line(line)
+        }
+    }
+
+    #[test]
+    fn transient_interrupts_do_not_fuse_the_stream() {
+        let text = format!(
+            "; MaxProcs: 8\n{LINE}\n{}\n",
+            LINE.replace("3 120", "4 180")
+        );
+        let reader = InterruptingReader {
+            inner: std::io::BufReader::new(text.as_bytes()),
+            calls: 0,
+        };
+        let mut stream = SwfStream::new(reader);
+        let records: Vec<_> = stream
+            .by_ref()
+            .collect::<Result<_, _>>()
+            .expect("clean parse");
+        assert_eq!(records.len(), 2, "every record survives the interrupts");
+        assert_eq!(records[0].job_id, 3);
+        assert_eq!(records[1].job_id, 4);
+        assert_eq!(stream.header().max_procs, Some(8));
     }
 
     #[test]
